@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the individual substrates.
+
+These measure the building blocks whose cost dominates the end-to-end
+pipeline: BM25 retrieval, cell linking, Part 1 candidate-type extraction, the
+MiniBERT forward pass and one fine-tuning step.  They complement the
+experiment-level benchmarks with stable, repeatable component timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import KGLinkModel
+from repro.core.pipeline import KGCandidateExtractor, Part1Config
+from repro.nn import functional as F
+from repro.nn.optim import AdamW
+from repro.plm.config import PLMConfig
+from repro.plm.model import MiniBERT
+
+
+@pytest.fixture(scope="module")
+def extractor(resources):
+    return KGCandidateExtractor(
+        resources.world.graph, Part1Config(top_k_rows=8), linker=resources.linker
+    )
+
+
+def test_bm25_search(benchmark, resources):
+    index = resources.linker.index
+    queries = [entity.label for entity in list(resources.world.graph.entities())[:50]]
+
+    def run():
+        return [index.search(query, top_k=10) for query in queries]
+
+    hits = benchmark(run)
+    assert len(hits) == 50
+
+
+def test_entity_linking_one_table(benchmark, resources, extractor):
+    table = resources.semtab.tables[0]
+    result = benchmark(lambda: extractor.link_table(table))
+    assert len(result) == table.n_rows
+
+
+def test_part1_process_table(benchmark, resources, extractor):
+    table = resources.semtab.tables[1]
+    processed = benchmark(lambda: extractor.process_table(table))
+    assert len(processed.columns) == table.n_columns
+
+
+def test_minibert_forward(benchmark):
+    encoder = MiniBERT(PLMConfig(vocab_size=2000, hidden_size=64, num_layers=2, num_heads=4,
+                                 intermediate_size=128, max_position_embeddings=256))
+    encoder.eval()
+    rng = np.random.default_rng(0)
+    token_ids = rng.integers(0, 2000, size=(8, 160))
+    mask = np.ones_like(token_ids, dtype=bool)
+    hidden = benchmark(lambda: encoder(token_ids, attention_mask=mask))
+    assert hidden.shape == (8, 160, 64)
+
+
+def test_training_step(benchmark):
+    encoder = MiniBERT(PLMConfig(vocab_size=1000, hidden_size=64, num_layers=2, num_heads=4,
+                                 intermediate_size=128, max_position_embeddings=160))
+    model = KGLinkModel(encoder, num_labels=40)
+    optimizer = AdamW(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(1)
+    token_ids = rng.integers(0, 1000, size=(4, 120))
+    mask = np.ones_like(token_ids, dtype=bool)
+    labels = rng.integers(0, 40, size=(12,))
+    batch_index = np.repeat(np.arange(4), 3)
+    positions = np.tile(np.array([0, 40, 80]), 4)
+
+    def step():
+        hidden = model.encode(token_ids, mask)
+        cls_vectors = model.gather_positions(hidden, batch_index, positions)
+        logits = model.classification_logits(cls_vectors)
+        loss = F.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    loss_value = benchmark(step)
+    assert np.isfinite(loss_value)

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 10 (effect of the row-filter size k)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure10
+
+
+def test_figure10_topk_rows(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: figure10.run(resources, smoke_profile, k_values=(4, None)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    assert {row["dataset"] for row in result.rows} == {"semtab", "viznet"}
+    assert {row["k"] for row in result.rows} == {4, "all"}
+    assert all(row["train_seconds"] > 0 for row in result.rows)

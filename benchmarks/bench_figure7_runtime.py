@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 7 (training / inference time per method)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_figure7_runtime(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: figure7.run(resources, smoke_profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) == 7
+    assert all(row["train_seconds"] >= 0.0 for row in result.rows)
+    # MTab never trains a neural model: it must be among the cheapest methods.
+    times = {row["model"]: row["train_seconds"] for row in result.rows}
+    assert times["MTab"] <= max(times.values())

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 8 (loss-uncertainty sensitivity and trajectories)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure8
+
+
+def test_figure8_sigma_analysis(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: figure8.run(resources, smoke_profile, sweep=(0.4, 1.4)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    panels = {row["panel"] for row in result.rows}
+    assert "a" in panels
+    sweep_rows = [row for row in result.rows if row["panel"] == "a"]
+    assert all(0.0 <= row["accuracy"] <= 100.0 for row in sweep_rows)

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 9 (data efficiency with varying training proportion)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure9
+
+
+def test_figure9_data_efficiency(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: figure9.run(resources, smoke_profile, proportions=(0.4, 1.0)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.render())
+    variants = {row["variant"] for row in result.rows}
+    assert variants == {"KGLink", "KGLink w/o msk"}
+    proportions = {row["proportion"] for row in result.rows}
+    assert proportions == {0.4, 1.0}
+    # More training data must not shrink the training corpus.
+    for variant in variants:
+        sizes = {row["proportion"]: row["train_tables"] for row in result.rows
+                 if row["variant"] == variant}
+        assert sizes[1.0] >= sizes[0.4]

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Table I (main results) at smoke scale.
+
+The benchmark fits and evaluates every method of the paper's Table I on both
+synthetic corpora and prints the measured rows next to the paper's values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import table1
+
+
+def test_table1_main_results(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: table1.run(resources, smoke_profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert len(result.rows) == 14
+    kglink_rows = [row for row in result.rows if row["model"] == "KGLink"]
+    assert all(0.0 <= row["accuracy"] <= 100.0 for row in result.rows)
+    assert len(kglink_rows) == 2

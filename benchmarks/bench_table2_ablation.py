@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table II (ablation study) at smoke scale."""
+
+from __future__ import annotations
+
+from repro.experiments import table2
+
+
+def test_table2_ablation(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: table2.run(resources, smoke_profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    variants = {row["variant"] for row in result.rows}
+    assert variants == {"KGLink", "KGLink w/o msk", "KGLink w/o ct", "KGLink w/o fv",
+                        "KGLink DeBERTa"}
+    for row in result.rows:
+        assert 0.0 <= row["semtab_accuracy"] <= 100.0
+        assert 0.0 <= row["viznet_accuracy"] <= 100.0

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table III (dataset / KG link statistics)."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+
+
+def test_table3_link_statistics(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: table3.run(resources, smoke_profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    semtab = next(row for row in result.rows if row["dataset"] == "semtab")
+    viznet = next(row for row in result.rows if row["dataset"] == "viznet")
+    # The structural facts of the paper's Table III.
+    assert semtab["numeric_columns"] == 0
+    assert viznet["numeric_columns"] > 0
+    assert viznet["without_ct_pct"] >= semtab["without_ct_pct"]

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Table IV (accuracy without extracted KG information)."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import table4
+
+
+def test_table4_no_kg_information(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: table4.run(resources, smoke_profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert {row["model"] for row in result.rows} == {
+        "KGLink", "HNN", "TaBERT", "Doduo", "RECA", "Sudowoodo"
+    }
+    for row in result.rows:
+        for key in ("numeric_accuracy", "non_numeric_accuracy"):
+            value = row[key]
+            assert math.isnan(value) or 0.0 <= value <= 100.0

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table V (row-filter mechanism comparison)."""
+
+from __future__ import annotations
+
+from repro.experiments import table5
+
+
+def test_table5_row_filter(benchmark, resources, smoke_profile):
+    result = benchmark.pedantic(
+        lambda: table5.run(resources, smoke_profile), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    filters = {row["filter"] for row in result.rows}
+    assert filters == {"our top-k row filter", "original top-k rows"}

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Annotate noisy web tables (VizNet-style) and compare KGLink with Doduo.
+
+This example reproduces, at demo scale, the scenario from the paper's
+introduction: web tables with coarse semantic types, numeric columns that
+cannot be linked to the knowledge graph, and cells that are abbreviations or
+codes.  It trains both KGLink and the Doduo baseline on the same corpus and
+prints a per-method comparison plus a breakdown on columns without any KG
+information (the paper's Table IV scenario).
+
+Run with::
+
+    python examples/webtable_annotation.py
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines import DoduoAnnotator, PLMBaselineConfig
+from repro.core import KGLinkAnnotator, KGLinkConfig
+from repro.data import VizNetConfig, VizNetGenerator, stratified_split
+from repro.data.metrics import accuracy_score
+from repro.kg import KGWorldConfig, build_default_kg
+
+
+def main() -> None:
+    print("building the knowledge graph and a noisy web-table corpus ...")
+    world = build_default_kg(KGWorldConfig().scaled(0.4))
+    corpus = VizNetGenerator(world, VizNetConfig(num_tables=220)).generate()
+    splits = stratified_split(corpus)
+    stats = corpus.statistics()
+    print(f"  {stats['tables']} tables, {stats['columns']} columns, "
+          f"{100 * stats['numeric_column_fraction']:.1f}% numeric columns")
+
+    print("training KGLink ...")
+    kglink = KGLinkAnnotator(
+        world.graph,
+        KGLinkConfig(epochs=8, batch_size=8, learning_rate=1e-3, pretrain_steps=30,
+                     top_k_rows=10),
+    )
+    kglink.fit(splits.train, splits.validation)
+    kglink_result = kglink.evaluate(splits.test)
+
+    print("training the Doduo baseline (same serialisation, no KG) ...")
+    doduo = DoduoAnnotator(PLMBaselineConfig(epochs=8, batch_size=8, learning_rate=1e-3,
+                                             pretrain_steps=30, max_rows=10))
+    doduo.fit(splits.train, splits.validation)
+    doduo_result = doduo.evaluate(splits.test)
+
+    print("\n=== overall test performance ===")
+    for name, result in (("KGLink", kglink_result), ("Doduo", doduo_result)):
+        print(f"  {name:8s} accuracy={result.accuracy:6.2f}  weighted F1={result.weighted_f1:6.2f}")
+
+    print("\n=== accuracy by column kind (numeric vs non-numeric) ===")
+    for name, annotator in (("KGLink", kglink), ("Doduo", doduo)):
+        y_true, y_pred = annotator.predict_corpus(splits.test)
+        kinds = []
+        for table in splits.test.tables:
+            for column in table.columns:
+                if column.label is None:
+                    continue
+                kinds.append("numeric" if column.is_numeric() else "non-numeric")
+        grouped = defaultdict(lambda: ([], []))
+        for kind, truth, pred in zip(kinds, y_true, y_pred):
+            grouped[kind][0].append(truth)
+            grouped[kind][1].append(pred)
+        parts = []
+        for kind in ("numeric", "non-numeric"):
+            truths, preds = grouped[kind]
+            if truths:
+                parts.append(f"{kind}: {100 * accuracy_score(truths, preds):.2f} ({len(truths)})")
+        print(f"  {name:8s} " + "   ".join(parts))
+
+    print("\nannotating one noisy table with KGLink:")
+    table = splits.test.tables[0]
+    for column, predicted in zip(table.columns, kglink.annotate(table)):
+        preview = ", ".join(cell for cell in column.cells[:3])
+        print(f"  [{predicted:>12s}] truth={column.label:<12s} cells: {preview} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of KGLink (ICDE 2024).
+
+KGLink annotates the semantic type of table columns by combining evidence
+extracted from a knowledge graph (candidate types, feature sequences) with a
+pre-trained language model fine-tuned with a multi-task objective.
+
+The package is organised as a set of substrates plus the core method:
+
+``repro.nn``
+    A small numpy-based define-by-run autograd framework (tensors, layers,
+    optimisers, losses) used to implement and fine-tune the language models.
+``repro.text``
+    Tokenisation, vocabulary management and a rule-based named-entity schema
+    detector (substitute for the spaCy NER used in the paper).
+``repro.kg``
+    An in-memory WikiData-style knowledge graph, a BM25 index (substitute for
+    Elasticsearch) and an entity linker.
+``repro.data``
+    Table data model, synthetic SemTab-style and VizNet-style corpus
+    generators, splits and evaluation metrics.
+``repro.plm``
+    From-scratch transformer encoders (MiniBERT / MiniDeBERTa) with masked
+    language-model pre-training.
+``repro.core``
+    The KGLink method itself: Part 1 (KG candidate-type extraction) and
+    Part 2 (multi-task deep-learning model), plus the end-to-end annotator.
+``repro.baselines``
+    Reimplementations of the baselines the paper compares against.
+``repro.experiments``
+    Runners that regenerate every table and figure of the evaluation section.
+"""
+
+from repro.version import __version__
+from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
+from repro.core.pipeline import KGCandidateExtractor, Part1Config
+from repro.data.table import Column, Table
+from repro.data.corpus import TableCorpus
+from repro.kg.graph import KnowledgeGraph
+
+__all__ = [
+    "__version__",
+    "KGLinkAnnotator",
+    "KGLinkConfig",
+    "KGCandidateExtractor",
+    "Part1Config",
+    "Column",
+    "Table",
+    "TableCorpus",
+    "KnowledgeGraph",
+]

@@ -1,0 +1,42 @@
+"""Baseline column-type annotation methods the paper compares against.
+
+Every baseline is re-implemented on top of the same substrates (knowledge
+graph, MiniBERT encoder, tokenizer, datasets) so that comparisons isolate the
+modelling differences the paper discusses:
+
+* :class:`~repro.baselines.mtab.MTabAnnotator` — purely KG-based voting
+  (rule/statistics based, no learning);
+* :class:`~repro.baselines.tabert.TaBERTAnnotator` — PLM over a row-oriented
+  linearisation of the table;
+* :class:`~repro.baselines.doduo.DoduoAnnotator` — multi-column PLM
+  serialisation (the serialisation KGLink builds on) without KG information;
+* :class:`~repro.baselines.hnn.HNNAnnotator` — hybrid neural network using the
+  KG type attribute of the *first* cell of each column, no PLM;
+* :class:`~repro.baselines.sudowoodo.SudowoodoAnnotator` — single-column PLM
+  classifier with contrastive-style self-supervised warm-up;
+* :class:`~repro.baselines.reca.RECAAnnotator` — single-column PLM classifier
+  augmented with aligned columns from related tables;
+* :class:`~repro.baselines.sherlock.SherlockAnnotator` — feature-based
+  single-column classifier (extra baseline from the related-work lineage).
+"""
+
+from repro.baselines.base import BaseAnnotator, PLMBaselineConfig
+from repro.baselines.mtab import MTabAnnotator
+from repro.baselines.tabert import TaBERTAnnotator
+from repro.baselines.doduo import DoduoAnnotator
+from repro.baselines.hnn import HNNAnnotator
+from repro.baselines.sudowoodo import SudowoodoAnnotator
+from repro.baselines.reca import RECAAnnotator
+from repro.baselines.sherlock import SherlockAnnotator
+
+__all__ = [
+    "BaseAnnotator",
+    "PLMBaselineConfig",
+    "MTabAnnotator",
+    "TaBERTAnnotator",
+    "DoduoAnnotator",
+    "HNNAnnotator",
+    "SudowoodoAnnotator",
+    "RECAAnnotator",
+    "SherlockAnnotator",
+]

@@ -1,0 +1,34 @@
+"""Doduo baseline: multi-column PLM serialisation without KG information.
+
+Doduo (Suhara et al., SIGMOD 2022) serialises the whole table into one
+sequence with a ``[CLS]`` token per column (Eq. 11 of the KGLink paper, which
+adopts exactly this scheme) and predicts every column's type from its
+``[CLS]`` representation.  Compared with KGLink it has no knowledge-graph
+candidate types, no feature vectors and no representation-generation sub-task,
+which is what the paper's comparison isolates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PLMBaselineAnnotator
+from repro.core.serialization import SerializedTable
+from repro.data.table import Table
+
+__all__ = ["DoduoAnnotator"]
+
+
+class DoduoAnnotator(PLMBaselineAnnotator):
+    """Multi-column PLM column-type annotator (one unit per table)."""
+
+    name = "Doduo"
+
+    def serialize_units(self, table: Table) -> list[SerializedTable]:
+        table = table.truncated(self.config.max_rows)
+        budget = self.config.max_tokens_per_column - 1
+        column_ids: list[list[int]] = []
+        labels: list[str | None] = []
+        for column in table.columns[: self.config.max_columns]:
+            text = " ".join(cell for cell in column.cells if cell.strip())
+            column_ids.append(self.tokenizer.encode(text, max_length=budget))
+            labels.append(column.label)
+        return [self.make_unit(column_ids, labels)]

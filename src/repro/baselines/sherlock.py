@@ -1,0 +1,134 @@
+"""Sherlock baseline: feature-engineered single-column classification.
+
+Sherlock (Hulsebos et al., KDD 2019) predicts a column's semantic type from
+hand-crafted features of its cells (character statistics, word embeddings and
+global statistics) with a feed-forward network and no table context.  It is
+part of the lineage the paper's related-work section discusses (Sherlock →
+Sato → PLM-based models); it is included here as an additional reference point
+and used by the extended analysis benchmarks.
+
+The reimplementation uses character-level statistics plus a bag of the most
+frequent training-corpus tokens, classified by a two-layer perceptron.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.baselines.base import BaseAnnotator
+from repro.baselines.hnn import _MLP, _character_statistics
+from repro.data.corpus import TableCorpus
+from repro.data.table import Column
+from repro.nn import functional as F
+from repro.nn.tensor import no_grad
+from repro.text.tokenizer import basic_tokenize
+
+__all__ = ["SherlockConfig", "SherlockAnnotator"]
+
+
+@dataclass(frozen=True)
+class SherlockConfig:
+    """Hyper-parameters of the Sherlock baseline."""
+
+    vocabulary_size: int = 300
+    hidden_size: int = 96
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 1e-3
+    seed: int = 0
+
+
+class SherlockAnnotator(BaseAnnotator):
+    """Single-column feature-based neural annotator."""
+
+    name = "Sherlock"
+
+    def __init__(self, config: SherlockConfig | None = None):
+        super().__init__()
+        self.config = config or SherlockConfig()
+        self.label_vocabulary: list[str] = []
+        self._token_index: dict[str, int] = {}
+        self.model: _MLP | None = None
+
+    # ------------------------------------------------------------------ #
+    def _column_features(self, column: Column) -> np.ndarray:
+        bag = np.zeros(len(self._token_index))
+        for cell in column.cells:
+            for token in basic_tokenize(cell):
+                index = self._token_index.get(token)
+                if index is not None:
+                    bag[index] += 1.0
+        if bag.max() > 0:
+            bag /= bag.max()
+        return np.concatenate([bag, _character_statistics(column)])
+
+    def _corpus_features(self, corpus: TableCorpus) -> tuple[np.ndarray, list[str | None]]:
+        features = []
+        labels: list[str | None] = []
+        for table in corpus.tables:
+            for column in table.columns:
+                features.append(self._column_features(column))
+                labels.append(column.label)
+        return np.asarray(features), labels
+
+    # ------------------------------------------------------------------ #
+    def fit(self, train_corpus: TableCorpus, validation_corpus: TableCorpus | None = None) -> None:
+        start = time.perf_counter()
+        self.label_vocabulary = list(train_corpus.label_vocabulary)
+        label_to_index = {label: i for i, label in enumerate(self.label_vocabulary)}
+
+        counter: Counter[str] = Counter()
+        for table in train_corpus.tables:
+            for column in table.columns:
+                for cell in column.cells:
+                    counter.update(basic_tokenize(cell))
+        most_common = [token for token, _ in counter.most_common(self.config.vocabulary_size)]
+        self._token_index = {token: index for index, token in enumerate(most_common)}
+
+        features, labels = self._corpus_features(train_corpus)
+        targets = np.asarray(
+            [label_to_index.get(label, -100) if label else -100 for label in labels],
+            dtype=np.int64,
+        )
+        keep = targets != -100
+        features, targets = features[keep], targets[keep]
+
+        self.model = _MLP(features.shape[1], self.config.hidden_size,
+                          len(self.label_vocabulary), seed=self.config.seed)
+        optimizer = nn.AdamW(self.model.parameters(), lr=self.config.learning_rate, eps=1e-6)
+        rng = np.random.default_rng(self.config.seed)
+        self.model.train()
+        for _ in range(self.config.epochs):
+            order = rng.permutation(len(features))
+            for batch_start in range(0, len(features), self.config.batch_size):
+                batch = order[batch_start : batch_start + self.config.batch_size]
+                logits = self.model(nn.Tensor(features[batch]))
+                loss = F.cross_entropy(logits, targets[batch])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self.model.eval()
+        self.fit_seconds = time.perf_counter() - start
+
+    def predict_corpus(self, corpus: TableCorpus) -> tuple[list[str], list[str]]:
+        if self.model is None:
+            raise RuntimeError("SherlockAnnotator must be fitted before prediction")
+        features, labels = self._corpus_features(corpus)
+        if len(labels) == 0:
+            return [], []
+        with no_grad():
+            logits = self.model(nn.Tensor(features))
+        predictions = np.argmax(logits.data, axis=-1)
+        y_true: list[str] = []
+        y_pred: list[str] = []
+        for label, prediction in zip(labels, predictions):
+            if label is None:
+                continue
+            y_true.append(label)
+            y_pred.append(self.label_vocabulary[int(prediction)])
+        return y_true, y_pred

@@ -1,0 +1,53 @@
+"""TaBERT baseline: row-oriented linearisation of the table content.
+
+TaBERT (Yin et al., ACL 2020) encodes a table by linearising *content
+snapshots*: a few representative rows are serialised cell by cell together
+with the column headers.  The reimplementation keeps that property — each
+column's block contains its header and the cells of the first few rows
+interleaved with the other columns' context — while predicting each column
+from its ``[CLS]`` token, so the comparison with Doduo/KGLink isolates the
+serialisation strategy.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import PLMBaselineAnnotator
+from repro.core.serialization import SerializedTable
+from repro.data.table import Table
+
+__all__ = ["TaBERTAnnotator"]
+
+
+class TaBERTAnnotator(PLMBaselineAnnotator):
+    """Row-snapshot PLM column-type annotator (one unit per table)."""
+
+    name = "TaBERT"
+    snapshot_rows: int = 3
+
+    def serialize_units(self, table: Table) -> list[SerializedTable]:
+        table = table.truncated(self.config.max_rows)
+        budget = self.config.max_tokens_per_column - 1
+        n_columns = min(table.n_columns, self.config.max_columns)
+        snapshot = list(range(min(self.snapshot_rows, table.n_rows)))
+
+        column_ids: list[list[int]] = []
+        labels: list[str | None] = []
+        for col_index in range(n_columns):
+            column = table.columns[col_index]
+            # The column block: header, the column's snapshot cells, then the
+            # same rows' cells from the other columns as row context.
+            parts: list[str] = []
+            if column.name:
+                parts.append(column.name)
+            parts.extend(column.cells[row] for row in snapshot if column.cells[row].strip())
+            for row in snapshot:
+                for other_index in range(n_columns):
+                    if other_index == col_index:
+                        continue
+                    cell = table.columns[other_index].cells[row]
+                    if cell.strip():
+                        parts.append(cell)
+            text = " ".join(parts)
+            column_ids.append(self.tokenizer.encode(text, max_length=budget))
+            labels.append(column.label)
+        return [self.make_unit(column_ids, labels)]

@@ -1,0 +1,91 @@
+"""Saving and loading fitted KGLink annotators.
+
+A fitted :class:`~repro.core.annotator.KGLinkAnnotator` consists of
+
+* the pipeline configuration (:class:`~repro.core.annotator.KGLinkConfig`),
+* the label vocabulary of the dataset it was trained on,
+* the learned tokenizer vocabulary, and
+* the model weights (encoder + heads).
+
+``save_annotator`` writes all of these into a directory;``load_annotator``
+reconstructs an annotator against a knowledge graph (the graph itself is not
+serialised — it is a substrate the caller already has — but its identity is
+checked loosely through the entity count recorded in the manifest).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
+from repro.core.model import KGLinkModel
+from repro.core.serialization import TableSerializer
+from repro.core.trainer import KGLinkTrainer
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.linker import EntityLinker
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.plm.model import create_encoder
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import Vocabulary
+
+__all__ = ["save_annotator", "load_annotator"]
+
+_MANIFEST = "manifest.json"
+_WEIGHTS = "model.npz"
+
+
+def save_annotator(annotator: KGLinkAnnotator, directory: str | Path) -> Path:
+    """Persist a fitted annotator to ``directory``; returns the directory path."""
+    if annotator.model is None or annotator.tokenizer is None:
+        raise RuntimeError("only fitted annotators can be saved")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "format_version": 1,
+        "config": dataclasses.asdict(annotator.config),
+        "label_vocabulary": annotator.label_vocabulary,
+        "tokenizer_tokens": list(annotator.tokenizer.vocabulary),
+        "graph_entities": len(annotator.graph),
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    save_state_dict(annotator.model.state_dict(), directory / _WEIGHTS)
+    return directory
+
+
+def load_annotator(directory: str | Path, graph: KnowledgeGraph,
+                   linker: EntityLinker | None = None) -> KGLinkAnnotator:
+    """Reconstruct a fitted annotator from ``directory`` against ``graph``."""
+    directory = Path(directory)
+    manifest = json.loads((directory / _MANIFEST).read_text())
+    if manifest.get("format_version") != 1:
+        raise ValueError(f"unsupported annotator format {manifest.get('format_version')!r}")
+
+    config = KGLinkConfig(**manifest["config"])
+    annotator = KGLinkAnnotator(graph, config, linker=linker)
+
+    # Rebuild the tokenizer from the stored token list.  The first five tokens
+    # are the special tokens, which the Vocabulary constructor re-adds itself.
+    tokens = manifest["tokenizer_tokens"]
+    specials = Vocabulary().specials
+    plain_tokens = [token for token in tokens if token not in set(specials.as_tuple())]
+    annotator.tokenizer = WordPieceTokenizer(Vocabulary(plain_tokens, specials=specials))
+
+    encoder = create_encoder(config.plm_config(vocab_size=annotator.tokenizer.vocab_size))
+    annotator.label_vocabulary = list(manifest["label_vocabulary"])
+    annotator.model = KGLinkModel(
+        encoder,
+        num_labels=len(annotator.label_vocabulary),
+        use_feature_vector=config.use_feature_vector,
+        seed=config.seed,
+    )
+    annotator.model.load_state_dict(load_state_dict(directory / _WEIGHTS))
+    annotator.model.eval()
+    annotator.serializer = TableSerializer(annotator.tokenizer, config.serializer_config())
+    annotator.trainer = KGLinkTrainer(
+        annotator.model, annotator.serializer, annotator.label_vocabulary,
+        config.training_config(),
+    )
+    return annotator

@@ -1,0 +1,217 @@
+"""Table serialisation for the deep-learning component (Part 2, step 1).
+
+KGLink serialises the whole (filtered, KG-augmented) table into a single token
+sequence in the multi-column style of Doduo (Eq. 11): one ``[CLS]`` token per
+column followed by that column's content, with a single ``[SEP]`` at the end.
+Per column the content is, in order:
+
+1. the ``[MASK]`` token (masked table) or the ground-truth label tokens
+   (ground-truth table, training only) when the column-type representation
+   generation sub-task is active;
+2. the candidate types extracted from the KG (or, for numeric columns, the
+   column's mean/variance/average summary);
+3. the column's cell mentions from the filtered table.
+
+The serializer also tokenises each column's feature sequence ``S(e)`` (Eq. 9)
+into a fixed-length block used to compute the feature vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline import ProcessedTable
+from repro.text.tokenizer import WordPieceTokenizer
+
+__all__ = ["SerializerConfig", "SerializedTable", "TableSerializer"]
+
+
+@dataclass(frozen=True)
+class SerializerConfig:
+    """Token budgets of the serialiser.
+
+    The paper restricts each column to 64 tokens and each table to 8 columns
+    under BERT's 512-token limit; the defaults here are scaled down with the
+    rest of the encoder but are overridable per experiment profile.
+    """
+
+    max_tokens_per_column: int = 32
+    max_columns: int = 8
+    max_candidate_type_tokens: int = 9
+    max_feature_tokens: int = 24
+    max_sequence_length: int = 288
+
+    def __post_init__(self) -> None:
+        if self.max_tokens_per_column <= 4:
+            raise ValueError("max_tokens_per_column must be larger than 4")
+        if self.max_columns <= 0:
+            raise ValueError("max_columns must be positive")
+
+
+@dataclass
+class SerializedTable:
+    """Model-ready arrays for one table."""
+
+    token_ids: np.ndarray
+    attention_mask: np.ndarray
+    cls_positions: list[int]
+    mask_positions: list[int]
+    label_positions: list[int]
+    column_labels: list[str | None]
+    feature_token_ids: np.ndarray
+    feature_attention_mask: np.ndarray
+    has_feature: list[bool] = field(default_factory=list)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.cls_positions)
+
+    @property
+    def sequence_length(self) -> int:
+        return int(self.token_ids.shape[0])
+
+
+class TableSerializer:
+    """Serialise :class:`ProcessedTable` objects into encoder inputs."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer, config: SerializerConfig | None = None):
+        self.tokenizer = tokenizer
+        self.config = config or SerializerConfig()
+        self.vocab = tokenizer.vocabulary
+
+    # ------------------------------------------------------------------ #
+    def _column_token_ids(
+        self,
+        processed: ProcessedTable,
+        column_index: int,
+        label_text: str | None,
+        use_mask_token: bool,
+        use_candidate_types: bool,
+    ) -> tuple[list[int], int, int]:
+        """Token ids of one column plus the positions (relative to the column
+        start) of the ``[MASK]`` token and of the first label token (-1 if absent)."""
+        info = processed.columns[column_index]
+        budget = self.config.max_tokens_per_column
+        ids: list[int] = [self.vocab.cls_id]
+        mask_offset = -1
+        label_offset = -1
+
+        if use_mask_token:
+            if label_text is not None:
+                label_ids = self.tokenizer.encode(label_text, max_length=4)
+                if label_ids:
+                    label_offset = len(ids)
+                    ids.extend(label_ids)
+            else:
+                mask_offset = len(ids)
+                ids.append(self.vocab.mask_id)
+
+        if use_candidate_types:
+            if info.is_numeric:
+                context_text = " ".join(info.numeric_summary)
+            else:
+                context_text = " ".join(info.candidate_types)
+            if context_text.strip():
+                ids.extend(
+                    self.tokenizer.encode(
+                        context_text, max_length=self.config.max_candidate_type_tokens
+                    )
+                )
+
+        cell_text = " ".join(
+            cell for cell in processed.filtered.columns[column_index].cells if cell.strip()
+        )
+        remaining = budget - len(ids)
+        if remaining > 0 and cell_text.strip():
+            ids.extend(self.tokenizer.encode(cell_text, max_length=remaining))
+        return ids[:budget], mask_offset, label_offset
+
+    # ------------------------------------------------------------------ #
+    def serialize(
+        self,
+        processed: ProcessedTable,
+        ground_truth: bool = False,
+        use_mask_token: bool = True,
+        use_candidate_types: bool = True,
+    ) -> SerializedTable:
+        """Serialise one processed table.
+
+        ``ground_truth=True`` builds the *ground-truth table* (labels prepended
+        to each column); otherwise the *masked table* is built with a
+        ``[MASK]`` token in place of the label.  ``use_mask_token=False``
+        omits both (the ``KGLink w/o msk`` ablation).
+        """
+        n_columns = min(processed.original.n_columns, self.config.max_columns)
+        token_ids: list[int] = []
+        cls_positions: list[int] = []
+        mask_positions: list[int] = []
+        label_positions: list[int] = []
+        column_labels: list[str | None] = []
+
+        for column_index in range(n_columns):
+            info = processed.columns[column_index]
+            label_text = info.label if ground_truth else None
+            start = len(token_ids)
+            ids, mask_offset, label_offset = self._column_token_ids(
+                processed,
+                column_index,
+                label_text=label_text,
+                use_mask_token=use_mask_token,
+                use_candidate_types=use_candidate_types,
+            )
+            token_ids.extend(ids)
+            cls_positions.append(start)
+            mask_positions.append(start + mask_offset if mask_offset >= 0 else -1)
+            label_positions.append(start + label_offset if label_offset >= 0 else -1)
+            column_labels.append(info.label)
+
+        token_ids.append(self.vocab.sep_id)
+        token_ids = token_ids[: self.config.max_sequence_length]
+        token_array = np.asarray(token_ids, dtype=np.int64)
+        attention = np.ones_like(token_array, dtype=bool)
+
+        feature_ids, feature_attention, has_feature = self._serialize_features(
+            processed, n_columns
+        )
+        return SerializedTable(
+            token_ids=token_array,
+            attention_mask=attention,
+            cls_positions=cls_positions,
+            mask_positions=[p if p < len(token_ids) else -1 for p in mask_positions],
+            label_positions=[p if p < len(token_ids) else -1 for p in label_positions],
+            column_labels=column_labels,
+            feature_token_ids=feature_ids,
+            feature_attention_mask=feature_attention,
+            has_feature=has_feature,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _serialize_features(
+        self, processed: ProcessedTable, n_columns: int
+    ) -> tuple[np.ndarray, np.ndarray, list[bool]]:
+        """Tokenise each column's feature sequence into a fixed-length block."""
+        length = self.config.max_feature_tokens
+        ids = np.full((n_columns, length), self.vocab.pad_id, dtype=np.int64)
+        attention = np.zeros((n_columns, length), dtype=bool)
+        has_feature: list[bool] = []
+        for column_index in range(n_columns):
+            info = processed.columns[column_index]
+            sequence = info.feature_sequence
+            if not sequence:
+                # Padding-only sequence, as the paper specifies for columns
+                # with no retrieved entities; keep the [CLS] so pooling the
+                # first position is always valid.
+                ids[column_index, 0] = self.vocab.cls_id
+                attention[column_index, 0] = True
+                has_feature.append(False)
+                continue
+            encoded = [self.vocab.cls_id] + self.tokenizer.encode(
+                sequence, max_length=length - 2
+            ) + [self.vocab.sep_id]
+            encoded = encoded[:length]
+            ids[column_index, : len(encoded)] = encoded
+            attention[column_index, : len(encoded)] = True
+            has_feature.append(True)
+        return ids, attention, has_feature

@@ -1,0 +1,54 @@
+"""Dataset substrate: table model, synthetic corpora, splits and metrics.
+
+The paper evaluates on two corpora:
+
+* **SemTab 2019** (rounds 1/3/4): 3,048 KG-derived tables, 7,587 columns,
+  275 fine-grained column types, no numeric columns.
+* **modified VizNet** (the Sato multi-column subset): 32,265 web tables,
+  73,034 columns, 77 coarse column types, ~13 % numeric columns and weak KG
+  coverage.
+
+Neither corpus is available offline, so this package generates synthetic
+corpora *from the synthetic knowledge graph* that reproduce the structural
+properties the paper's analysis depends on (type granularity, numeric columns,
+partial KG coverage, differing label granularity and corpus size).
+"""
+
+from repro.data.table import Column, Table
+from repro.data.corpus import TableCorpus, CorpusSplits, stratified_split
+from repro.data.metrics import (
+    EvaluationResult,
+    accuracy_score,
+    classification_report,
+    evaluate_predictions,
+    weighted_f1_score,
+)
+from repro.data.semtab import SemTabConfig, SemTabGenerator
+from repro.data.viznet import VizNetConfig, VizNetGenerator
+from repro.data.io import (
+    corpus_from_directory,
+    corpus_to_directory,
+    table_from_csv,
+    table_to_csv,
+)
+
+__all__ = [
+    "table_to_csv",
+    "table_from_csv",
+    "corpus_to_directory",
+    "corpus_from_directory",
+    "Column",
+    "Table",
+    "TableCorpus",
+    "CorpusSplits",
+    "stratified_split",
+    "EvaluationResult",
+    "accuracy_score",
+    "weighted_f1_score",
+    "classification_report",
+    "evaluate_predictions",
+    "SemTabConfig",
+    "SemTabGenerator",
+    "VizNetConfig",
+    "VizNetGenerator",
+]

@@ -1,0 +1,244 @@
+"""Shared machinery for generating synthetic tables from the knowledge graph.
+
+Both corpus generators (SemTab-style and VizNet-style) work the same way:
+
+1. pick a *table topic* — which entity type the rows are about and which
+   columns the table has;
+2. sample row subject entities of that type from the :class:`KGWorld`;
+3. render each cell either from the subject itself, from a related entity
+   reached through a predicate, or from a literal attribute;
+4. optionally corrupt cells (abbreviations, typos, case changes, unlinkable
+   strings) to model the noisier web tables of VizNet.
+
+The ground-truth label of each column is part of the topic definition, so the
+type-granularity phenomenon is reproduced faithfully: a SemTab-style column of
+cricketer names is labelled ``Cricketer`` while the corresponding VizNet-style
+column is labelled simply ``name``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.data.table import Column, Table
+from repro.kg.builder import KGWorld
+from repro.kg.graph import KnowledgeGraph
+
+__all__ = ["CellSource", "ColumnSpec", "TableTopic", "TableFactory", "NoiseModel"]
+
+
+@dataclass(frozen=True)
+class CellSource:
+    """Describes how a cell is derived from the row's subject entity.
+
+    ``kind`` is one of:
+
+    * ``"self"`` — the subject's own label;
+    * ``"related"`` — the label of an entity reached from the subject through
+      ``predicate`` (outgoing edges first, then incoming);
+    * ``"literal"`` — the literal attribute ``attribute`` of the subject;
+    * ``"row_index"`` — a 1-based rank, for VizNet-style rank columns.
+    """
+
+    kind: str
+    predicate: str | None = None
+    attribute: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"self", "related", "literal", "row_index"}:
+            raise ValueError(f"unknown cell source kind {self.kind!r}")
+        if self.kind == "related" and not self.predicate:
+            raise ValueError("related cell sources need a predicate")
+        if self.kind == "literal" and not self.attribute:
+            raise ValueError("literal cell sources need an attribute name")
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """A column of a table topic: its ground-truth label and cell source."""
+
+    label: str
+    source: CellSource
+    header: str = ""
+    optional: bool = False
+    linkable: bool = True
+    include_probability: float = 0.85
+
+
+@dataclass(frozen=True)
+class TableTopic:
+    """A family of tables about one subject type."""
+
+    name: str
+    subject_type: str
+    columns: tuple[ColumnSpec, ...]
+    weight: float = 1.0
+    min_context_columns: int = 1
+
+
+@dataclass
+class NoiseModel:
+    """Cell corruption model for web-table style corpora.
+
+    Each probability is applied independently per cell; ``unlinkable_column``
+    is applied per column and replaces every cell with strings that do not
+    exist in the KG (modelling the large fraction of VizNet columns with no
+    KG linkage at all).
+    """
+
+    abbreviation: float = 0.0
+    typo: float = 0.0
+    lowercase: float = 0.0
+    drop_cell: float = 0.0
+    unlinkable_column: float = 0.0
+
+    def corrupt_cell(self, cell: str, rng: np.random.Generator, alias: str | None = None) -> str:
+        if not cell:
+            return cell
+        if alias and rng.random() < self.abbreviation:
+            cell = alias
+        if rng.random() < self.typo and len(cell) > 3:
+            position = int(rng.integers(1, len(cell) - 1))
+            cell = cell[:position] + cell[position + 1 :]
+        if rng.random() < self.lowercase:
+            cell = cell.lower()
+        if rng.random() < self.drop_cell:
+            cell = ""
+        return cell
+
+
+class TableFactory:
+    """Renders tables from topics against a :class:`KGWorld`."""
+
+    def __init__(self, world: KGWorld, rng: np.random.Generator,
+                 noise: NoiseModel | None = None):
+        self.world = world
+        self.graph: KnowledgeGraph = world.graph
+        self.rng = rng
+        self.noise = noise or NoiseModel()
+
+    # ------------------------------------------------------------------ #
+    def _related_entity(self, subject_id: str, predicate: str) -> str | None:
+        outgoing = [t.object for t in self.graph.outgoing(subject_id) if t.predicate == predicate]
+        if outgoing:
+            return outgoing[int(self.rng.integers(0, len(outgoing)))]
+        incoming = [t.subject for t in self.graph.incoming(subject_id) if t.predicate == predicate]
+        if incoming:
+            return incoming[int(self.rng.integers(0, len(incoming)))]
+        return None
+
+    def _render_cell(self, subject_id: str, source: CellSource, row_index: int
+                     ) -> tuple[str, str | None]:
+        """Return ``(cell_text, source_entity_id)`` for one cell."""
+        if source.kind == "self":
+            return self.graph.entity(subject_id).label, subject_id
+        if source.kind == "related":
+            related = self._related_entity(subject_id, source.predicate)
+            if related is None:
+                return "", None
+            return self.graph.entity(related).label, related
+        if source.kind == "literal":
+            return self.world.literal(subject_id, source.attribute, default=""), None
+        if source.kind == "row_index":
+            return str(row_index + 1), None
+        raise AssertionError(f"unhandled cell source {source.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    def sample_subjects(self, subject_type: str, n_rows: int) -> list[str]:
+        """Sample ``n_rows`` distinct subject entities of ``subject_type``."""
+        pool = self.world.instances(subject_type)
+        if not pool:
+            raise ValueError(f"the synthetic world has no instances of type {subject_type!r}")
+        if len(pool) >= n_rows:
+            indices = self.rng.choice(len(pool), size=n_rows, replace=False)
+        else:
+            indices = self.rng.choice(len(pool), size=n_rows, replace=True)
+        return [pool[int(i)] for i in indices]
+
+    def build_table(
+        self,
+        table_id: str,
+        topic: TableTopic,
+        n_rows: int,
+        max_columns: int | None = None,
+        source: str = "synthetic",
+    ) -> Table:
+        """Render one table for ``topic`` with ``n_rows`` rows.
+
+        Optional context columns are included independently with probability
+        0.75 (subject columns are always included); the resulting column set
+        is truncated to ``max_columns`` when given.
+        """
+        subjects = self.sample_subjects(topic.subject_type, n_rows)
+
+        specs: list[ColumnSpec] = []
+        for spec in topic.columns:
+            if spec.optional and self.rng.random() > spec.include_probability:
+                continue
+            specs.append(spec)
+        mandatory = [spec for spec in topic.columns if not spec.optional]
+        if len(specs) < max(topic.min_context_columns, len(mandatory)):
+            specs = list(topic.columns)
+        if max_columns is not None and len(specs) > max_columns:
+            keep = [spec for spec in specs if not spec.optional][:max_columns]
+            for spec in specs:
+                if len(keep) >= max_columns:
+                    break
+                if spec not in keep:
+                    keep.append(spec)
+            specs = keep
+
+        columns: list[Column] = []
+        for spec in specs:
+            cells: list[str] = []
+            entity_ids: list[str | None] = []
+            make_unlinkable = (
+                spec.linkable is False
+                or (
+                    spec.source.kind in ("self", "related")
+                    and self.rng.random() < self.noise.unlinkable_column
+                )
+            )
+            for row_index, subject_id in enumerate(subjects):
+                cell, entity_id = self._render_cell(subject_id, spec.source, row_index)
+                alias = None
+                if entity_id is not None:
+                    aliases = self.graph.entity(entity_id).aliases
+                    alias = aliases[0] if aliases else None
+                if make_unlinkable and spec.source.kind in ("self", "related"):
+                    cell = self._unlinkable_variant(cell)
+                    entity_id = None
+                cell = self.noise.corrupt_cell(cell, self.rng, alias=alias)
+                cells.append(cell)
+                entity_ids.append(entity_id)
+            columns.append(
+                Column(name=spec.header, cells=cells, label=spec.label,
+                       source_entity_ids=entity_ids)
+            )
+        return Table(table_id=table_id, columns=columns, source=source)
+
+    # ------------------------------------------------------------------ #
+    def _unlinkable_variant(self, cell: str) -> str:
+        """Produce a string variant that will not match anything in the KG.
+
+        This models the VizNet columns the paper describes as "typically hard
+        to annotate": long composite strings, or short abbreviation codes.
+        """
+        if not cell:
+            return cell
+        if self.rng.random() < 0.5:
+            words = cell.split()
+            code = "".join(word[0].upper() for word in words if word)[:3]
+            return code or cell[:2].upper()
+        suffix = int(self.rng.integers(100, 999))
+        return f"{cell.replace(' ', '_').lower()}_{suffix}"
+
+    def pick_topic(self, topics: Sequence[TableTopic]) -> TableTopic:
+        """Sample a topic proportionally to its weight."""
+        weights = np.asarray([topic.weight for topic in topics], dtype=np.float64)
+        weights /= weights.sum()
+        index = int(self.rng.choice(len(topics), p=weights))
+        return topics[index]

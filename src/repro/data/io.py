@@ -1,0 +1,105 @@
+"""Loading and saving tables and corpora as CSV / JSON files.
+
+The synthetic generators are the primary data source of this reproduction, but
+a downstream user of the library will want to annotate *their own* tables.
+This module provides the interchange layer:
+
+* one table ↔ one CSV file (header row = column names) plus an optional
+  ``<name>.labels.json`` side-car with the ground-truth column types;
+* a corpus ↔ a directory of CSV files plus a ``corpus.json`` manifest holding
+  the label vocabulary.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.data.corpus import TableCorpus
+from repro.data.table import Column, Table
+
+__all__ = [
+    "table_to_csv",
+    "table_from_csv",
+    "corpus_to_directory",
+    "corpus_from_directory",
+]
+
+
+def table_to_csv(table: Table, path: str | Path, write_labels: bool = True) -> Path:
+    """Write ``table`` to ``path`` as CSV; labels go to ``<path>.labels.json``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(column.name for column in table.columns)
+        for row in table.iter_rows():
+            writer.writerow(row)
+    if write_labels:
+        labels_path = path.with_suffix(path.suffix + ".labels.json")
+        labels_path.write_text(json.dumps({
+            "table_id": table.table_id,
+            "source": table.source,
+            "labels": table.labels(),
+        }, indent=2))
+    return path
+
+
+def table_from_csv(path: str | Path, table_id: str | None = None) -> Table:
+    """Read a table written by :func:`table_to_csv` (labels side-car optional)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    header, data_rows = rows[0], rows[1:]
+    labels: list[str | None] = [None] * len(header)
+    source = "csv"
+    loaded_id = table_id or path.stem
+    labels_path = path.with_suffix(path.suffix + ".labels.json")
+    if labels_path.exists():
+        payload = json.loads(labels_path.read_text())
+        labels = payload.get("labels", labels)
+        source = payload.get("source", source)
+        loaded_id = table_id or payload.get("table_id", loaded_id)
+    columns = []
+    for index, name in enumerate(header):
+        cells = [row[index] if index < len(row) else "" for row in data_rows]
+        label = labels[index] if index < len(labels) else None
+        columns.append(Column(name=name, cells=cells, label=label))
+    return Table(table_id=loaded_id, columns=columns, source=source)
+
+
+def corpus_to_directory(corpus: TableCorpus, directory: str | Path) -> Path:
+    """Write every table of ``corpus`` as a CSV file plus a manifest."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    filenames = []
+    for table in corpus.tables:
+        filename = f"{table.table_id}.csv"
+        table_to_csv(table, directory / filename)
+        filenames.append(filename)
+    manifest = {
+        "name": corpus.name,
+        "label_vocabulary": corpus.label_vocabulary,
+        "tables": filenames,
+    }
+    (directory / "corpus.json").write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def corpus_from_directory(directory: str | Path) -> TableCorpus:
+    """Read a corpus previously written by :func:`corpus_to_directory`."""
+    directory = Path(directory)
+    manifest_path = directory / "corpus.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no corpus.json manifest in {directory}")
+    manifest = json.loads(manifest_path.read_text())
+    tables = [table_from_csv(directory / filename) for filename in manifest["tables"]]
+    return TableCorpus(
+        name=manifest.get("name", directory.name),
+        tables=tables,
+        label_vocabulary=list(manifest.get("label_vocabulary", [])),
+    )

@@ -1,0 +1,205 @@
+"""Synthetic VizNet-style (Sato multi-column subset) corpus generator.
+
+The modified VizNet corpus used by the paper consists of noisy multi-column
+web tables annotated with 77 **coarse** semantic types (``name``, ``team``,
+``year``, ``rank`` ...).  Compared with SemTab it is larger, its labels are
+much coarser (producing the *type granularity gap*), roughly 12.8 % of its
+columns are numeric (unlinkable to the KG) and a large share of its remaining
+columns cannot be linked either because the cells are abbreviations, codes or
+free text.
+
+The generator reproduces these properties: topics reuse the same synthetic KG
+entities but label columns with coarse Sato-style types, add numeric and date
+columns from literal attributes, and corrupt a fraction of cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.corpus import TableCorpus
+from repro.data.generation import CellSource, ColumnSpec, NoiseModel, TableFactory, TableTopic
+from repro.data.table import Table
+from repro.kg.builder import KGWorld
+from repro.kg.graph import Predicates as P
+
+__all__ = ["VizNetConfig", "VizNetGenerator", "VIZNET_TOPICS"]
+
+
+def _self(label: str, header: str = "") -> ColumnSpec:
+    return ColumnSpec(label=label, source=CellSource("self"), header=header)
+
+
+def _rel(label: str, predicate: str, header: str = "", optional: bool = True) -> ColumnSpec:
+    return ColumnSpec(label=label, source=CellSource("related", predicate=predicate),
+                      header=header, optional=optional)
+
+
+def _lit(label: str, attribute: str, header: str = "", optional: bool = True) -> ColumnSpec:
+    return ColumnSpec(label=label, source=CellSource("literal", attribute=attribute),
+                      header=header, optional=optional, linkable=False,
+                      include_probability=0.45)
+
+
+def _rank(header: str = "rank") -> ColumnSpec:
+    return ColumnSpec(label="rank", source=CellSource("row_index"), header=header,
+                      optional=True, linkable=False, include_probability=0.4)
+
+
+VIZNET_TOPICS: tuple[TableTopic, ...] = (
+    TableTopic("basketball roster", "Basketball player", (
+        _self("name", "player"), _rel("team", P.MEMBER_OF, "team"),
+        _rel("position", P.POSITION, "pos"), _lit("weight", "weight_kg", "wt"),
+        _rank(),
+    ), weight=2.0),
+    TableTopic("cricket roster", "Cricketer", (
+        _self("name", "player"), _rel("team", P.MEMBER_OF, "team"),
+        _lit("birthDate", "birth_date", "born"), _lit("birthDate", "death_date", "died"),
+    ), weight=2.0),
+    TableTopic("football squad", "Footballer", (
+        _self("name", "player"), _rel("club", P.MEMBER_OF, "club"),
+        _rel("position", P.POSITION, "position"), _rel("nationality", P.CITIZENSHIP, "nation"),
+    ), weight=2.0),
+    TableTopic("athlete statistics", "Basketball player", (
+        _self("name", "player"), _lit("plays", "career_points", "pts"),
+        _lit("weight", "weight_kg", "kg"), _rank(),
+    )),
+    TableTopic("music chart", "Album", (
+        _self("album", "album"), _rel("artist", P.PERFORMER, "artist"),
+        _rel("genre", P.GENRE, "genre"), _lit("year", "publication_year", "year"),
+        _rank("#"),
+    ), weight=2.0),
+    TableTopic("song list", "Song", (
+        _self("name", "title"), _rel("artist", P.PERFORMER, "artist"),
+        _rel("genre", P.GENRE, "genre"), _lit("duration", "duration_s", "sec"),
+    ), weight=1.5),
+    TableTopic("artist directory", "Musician", (
+        _self("artist", "artist"), _rel("genre", P.GENRE, "genre"),
+        _rel("company", P.RECORD_LABEL, "label"), _rel("nationality", P.CITIZENSHIP, "country"),
+    ), weight=1.5),
+    TableTopic("film catalogue", "Film", (
+        _self("name", "title"), _rel("director", P.DIRECTOR, "director"),
+        _rel("genre", P.GENRE, "genre"), _lit("year", "publication_year", "year"),
+        _lit("duration", "duration_min", "min"),
+    ), weight=1.5),
+    TableTopic("book catalogue", "Book", (
+        _self("name", "title"), _rel("creator", P.AUTHOR, "author"),
+        _rel("genre", P.GENRE, "genre"), _lit("year", "publication_year", "year"),
+    )),
+    TableTopic("city statistics", "City", (
+        _self("city", "city"), _rel("country", P.COUNTRY, "country"),
+        _lit("population", "population", "pop"), _lit("elevation", "elevation_m", "elev"),
+    ), weight=1.5),
+    TableTopic("country facts", "Country", (
+        _self("country", "country"), _rel("continent", P.PART_OF, "continent"),
+        _rel("language", P.LANGUAGE, "language"), _rel("currency", P.CURRENCY, "currency"),
+        _lit("population", "population", "pop"),
+    )),
+    TableTopic("club table", "Sports team", (
+        _self("team", "club"), _rel("city", P.LOCATED_IN, "city"),
+        _lit("year", "founded", "founded"), _rank("pos"),
+    ), weight=1.5),
+    TableTopic("league standings", "Football club", (
+        _self("club", "club"), _rel("city", P.LOCATED_IN, "city"),
+        _rank("pos"), _lit("year", "founded", "est"),
+    )),
+    TableTopic("company list", "Company", (
+        _self("company", "company"), _rel("industry", P.INDUSTRY, "industry"),
+        _rel("city", P.HEADQUARTERS, "hq"), _lit("sales", "revenue_musd", "revenue"),
+        _lit("year", "founded", "founded"),
+    )),
+    TableTopic("university list", "University", (
+        _self("organisation", "institution"), _rel("city", P.LOCATED_IN, "city"),
+        _lit("year", "established", "est"), _lit("capacity", "students", "students"),
+    )),
+    TableTopic("people directory", "Human", (
+        _self("person", "name"), _rel("nationality", P.CITIZENSHIP, "nationality"),
+        _lit("birthDate", "birth_date", "born"),
+    )),
+    TableTopic("protein table", "Protein", (
+        _self("name", "protein"), _rel("symbol", P.ENCODED_BY, "gene"),
+        _rel("species", P.FOUND_IN_TAXON, "species"), _lit("weight", "mass_kda", "kDa"),
+    )),
+    TableTopic("river table", "River", (
+        _self("name", "river"), _rel("country", P.COUNTRY, "country"),
+        _lit("area", "length_km", "km"),
+    )),
+    TableTopic("mountain table", "Mountain", (
+        _self("name", "peak"), _rel("country", P.COUNTRY, "country"),
+        _lit("elevation", "elevation_m", "m"),
+    )),
+    TableTopic("stadium list", "Stadium", (
+        _self("location", "venue"), _rel("city", P.LOCATED_IN, "city"),
+        _lit("capacity", "capacity", "capacity"),
+    )),
+    TableTopic("code reference", "Player position", (
+        ColumnSpec(label="code", source=CellSource("self"), header="code", linkable=False),
+        _rel("category", P.PART_OF, "sport", optional=False),
+    )),
+    TableTopic("gene reference", "Gene", (
+        _self("symbol", "symbol"), _rel("species", P.FOUND_IN_TAXON, "organism"),
+    )),
+)
+
+
+@dataclass
+class VizNetConfig:
+    """Size and shape of the synthetic VizNet-style corpus.
+
+    The real multi-column subset has 32,265 tables with on average 20 rows and
+    2.3 columns; the default here is a scaled-down corpus with the same
+    per-table shape and noise profile, several times larger than the SemTab
+    corpus (as in the paper).
+    """
+
+    num_tables: int = 600
+    min_rows: int = 4
+    max_rows: int = 16
+    max_columns: int = 5
+    seed: int = 202
+    name: str = "viznet"
+    noise: NoiseModel = field(
+        default_factory=lambda: NoiseModel(
+            abbreviation=0.20, typo=0.06, lowercase=0.30, drop_cell=0.02,
+            unlinkable_column=0.45,
+        )
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_tables <= 0:
+            raise ValueError("num_tables must be positive")
+        if not 0 < self.min_rows <= self.max_rows:
+            raise ValueError("row bounds must satisfy 0 < min_rows <= max_rows")
+
+
+class VizNetGenerator:
+    """Generate a VizNet-style corpus from the synthetic knowledge graph."""
+
+    def __init__(self, world: KGWorld, config: VizNetConfig | None = None):
+        self.world = world
+        self.config = config or VizNetConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.factory = TableFactory(world, self.rng, noise=self.config.noise)
+        self.topics = tuple(
+            topic for topic in VIZNET_TOPICS if world.instances(topic.subject_type)
+        )
+        if not self.topics:
+            raise ValueError("the synthetic world has no instances for any VizNet topic")
+
+    def generate(self) -> TableCorpus:
+        """Generate the corpus."""
+        tables: list[Table] = []
+        for index in range(self.config.num_tables):
+            topic = self.factory.pick_topic(self.topics)
+            n_rows = int(self.rng.integers(self.config.min_rows, self.config.max_rows + 1))
+            table = self.factory.build_table(
+                table_id=f"{self.config.name}-{index:05d}",
+                topic=topic,
+                n_rows=n_rows,
+                max_columns=self.config.max_columns,
+                source=self.config.name,
+            )
+            tables.append(table)
+        return TableCorpus(name=self.config.name, tables=tables)

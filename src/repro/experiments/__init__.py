@@ -1,0 +1,42 @@
+"""Experiment runners regenerating every table and figure of the paper.
+
+Each module exposes a ``run(resources, profile)`` function returning an
+:class:`~repro.experiments.reporting.ExperimentResult` whose rows mirror the
+corresponding table/figure of the paper, next to the paper-reported reference
+values.  ``python -m repro.experiments <experiment> [--profile smoke|default]``
+runs one experiment from the command line; ``all`` runs the full suite and
+writes a combined report.
+
+| Experiment   | Paper content                                            |
+|--------------|----------------------------------------------------------|
+| ``table1``   | Main results (accuracy / weighted F1, 7 methods, 2 sets)  |
+| ``table2``   | Ablation study of KGLink components                       |
+| ``table3``   | Link statistics between the datasets and the KG           |
+| ``table4``   | Accuracy on test columns with no extracted KG information |
+| ``table5``   | Row-filter mechanism comparison                           |
+| ``figure7``  | Training / inference time per method                      |
+| ``figure8``  | Sensitivity and trajectories of the loss uncertainties    |
+| ``figure9``  | Data efficiency (varying training proportion p)           |
+| ``figure10`` | Effect of the row-filter size k                           |
+| ``qualitative`` | Per-class gains from the representation-generation task |
+"""
+
+from repro.experiments.config import (
+    ExperimentProfile,
+    SharedResources,
+    get_profile,
+    load_resources,
+)
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.shape import ordering_report, pairwise_order_agreement
+
+__all__ = [
+    "ordering_report",
+    "pairwise_order_agreement",
+    "ExperimentProfile",
+    "SharedResources",
+    "get_profile",
+    "load_resources",
+    "ExperimentResult",
+    "format_table",
+]

@@ -1,0 +1,76 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment> [options]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    qualitative,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.config import PROFILES, load_resources
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    "qualitative": qualitative.run,
+}
+
+#: Order in which ``all`` runs the experiments: Table I first so its fitted
+#: models are reused by the runtime / ablation experiments.
+ALL_ORDER = (
+    "table1", "table3", "figure7", "table2", "table5", "table4",
+    "figure10", "figure8", "qualitative", "figure9",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment (or all of them) and print/save the reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the KGLink paper.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--profile", default="default",
+                        choices=[name for name in PROFILES if name != "paper"],
+                        help="experiment profile (corpus size, epochs, ...)")
+    parser.add_argument("--output-dir", default=None,
+                        help="directory to write JSON reports to (optional)")
+    args = parser.parse_args(argv)
+
+    resources = load_resources(args.profile)
+    names = list(ALL_ORDER) if args.experiment == "all" else [args.experiment]
+
+    for name in names:
+        start = time.perf_counter()
+        result = EXPERIMENTS[name](resources=resources, profile=args.profile)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"\n[{name} completed in {elapsed:.1f}s]\n")
+        if args.output_dir:
+            path = result.save(Path(args.output_dir))
+            print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Figure 7 — training and inference time of every method on the VizNet corpus."""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentProfile, SharedResources, load_resources
+from repro.experiments.references import FIGURE7_REFERENCE
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runners import TABLE1_MODELS, get_fitted_annotator
+
+__all__ = ["run"]
+
+
+def run(resources: SharedResources | None = None,
+        profile: ExperimentProfile | str = "default",
+        dataset: str = "viznet",
+        models: tuple[str, ...] = TABLE1_MODELS) -> ExperimentResult:
+    """Measure wall-clock training and inference time per method (paper Figure 7).
+
+    Reuses the fitted-model cache, so running Table I first makes this free.
+    """
+    if resources is None:
+        resources = load_resources(profile)
+    profile = resources.profile
+
+    rows = []
+    for model in models:
+        annotator, _ = get_fitted_annotator(resources, profile, model, dataset)
+        rows.append({
+            "model": model,
+            "train_seconds": getattr(annotator, "fit_seconds", 0.0),
+            "inference_seconds": getattr(annotator, "inference_seconds", 0.0),
+        })
+
+    return ExperimentResult(
+        name="figure7_runtime",
+        description="Training / inference time per method on VizNet (paper Figure 7)",
+        rows=rows,
+        paper_reference=FIGURE7_REFERENCE,
+        notes=(
+            "Absolute times are seconds on CPU with the scaled-down corpora (the paper "
+            "reports hours on a V100 with the full corpora).  The shape to preserve: RECA "
+            "pays a large related-table search cost, the purely statistical MTab and the "
+            "light single-column models are cheapest, and KGLink's KG processing adds a "
+            "moderate overhead over Doduo."
+        ),
+    )

@@ -1,0 +1,82 @@
+"""Figure 8 — sensitivity and training trajectories of the loss uncertainties.
+
+Panel (a): KGLink trained on SemTab with *fixed* loss weights, sweeping
+``log sigma_0^2`` (the DMLM-task weight) while ``log sigma_1^2`` is held at 1,
+and vice versa; accuracy is reported for each setting.
+
+Panel (b): the trajectories of the *learned* ``log sigma_0^2`` and
+``log sigma_1^2`` during adaptive training on both datasets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentProfile, SharedResources, load_resources
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runners import get_fitted_annotator
+
+__all__ = ["run", "DEFAULT_SWEEP"]
+
+DEFAULT_SWEEP: tuple[float, ...] = (0.4, 0.9, 1.4)
+
+
+def run(resources: SharedResources | None = None,
+        profile: ExperimentProfile | str = "default",
+        sweep: tuple[float, ...] = DEFAULT_SWEEP,
+        sweep_dataset: str = "semtab",
+        trajectory_datasets: tuple[str, ...] = ("semtab", "viznet")) -> ExperimentResult:
+    """Run the sigma sensitivity sweep and record the adaptive trajectories."""
+    if resources is None:
+        resources = load_resources(profile)
+    profile = resources.profile
+
+    rows = []
+    # Panel (a): fixed-weight sensitivity sweep.
+    for value in sweep:
+        _, result = get_fitted_annotator(
+            resources, profile, "KGLink", sweep_dataset,
+            fixed_log_sigma0_sq=value, fixed_log_sigma1_sq=1.0,
+        )
+        rows.append({
+            "panel": "a", "dataset": sweep_dataset, "swept": "log_sigma0_sq",
+            "log_sigma0_sq": value, "log_sigma1_sq": 1.0, "accuracy": result.accuracy,
+        })
+    for value in sweep:
+        _, result = get_fitted_annotator(
+            resources, profile, "KGLink", sweep_dataset,
+            fixed_log_sigma0_sq=1.0, fixed_log_sigma1_sq=value,
+        )
+        rows.append({
+            "panel": "a", "dataset": sweep_dataset, "swept": "log_sigma1_sq",
+            "log_sigma0_sq": 1.0, "log_sigma1_sq": value, "accuracy": result.accuracy,
+        })
+
+    # Panel (b): adaptive trajectories from the regular KGLink runs.
+    for dataset in trajectory_datasets:
+        annotator, _ = get_fitted_annotator(resources, profile, "KGLink", dataset)
+        history = annotator.history
+        if history is None or not history.sigma0_trajectory:
+            continue
+        steps = len(history.sigma0_trajectory)
+        checkpoints = sorted({0, steps // 4, steps // 2, (3 * steps) // 4, steps - 1})
+        for step in checkpoints:
+            rows.append({
+                "panel": "b", "dataset": dataset, "swept": "trajectory",
+                "step": step,
+                "log_sigma0_sq": history.sigma0_trajectory[step],
+                "log_sigma1_sq": history.sigma1_trajectory[step],
+            })
+
+    return ExperimentResult(
+        name="figure8_sigma_analysis",
+        description="Sensitivity and training curves of log sigma^2 (paper Figure 8)",
+        rows=rows,
+        paper_reference=[],
+        notes=(
+            "Paper Figure 8(a) reports accuracy between roughly 84.5 and 87 on SemTab as the "
+            "fixed weights vary, with higher sensitivity to sigma_0 (the representation-"
+            "generation weight) than to sigma_1.  Figure 8(b) shows both uncertainties being "
+            "optimised during training, converging to a smaller sigma_0 on VizNet than on "
+            "SemTab.  The rows with panel='a' reproduce the sweep; panel='b' samples the "
+            "learned trajectories at a few checkpoints."
+        ),
+    )

@@ -1,0 +1,57 @@
+"""Figure 9 — data efficiency: performance with a reduced training proportion p.
+
+For each ``p`` the training corpus is sub-sampled to ``p`` of its tables while
+the validation and test splits stay fixed, and both KGLink and KGLink w/o msk
+are trained from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.core.annotator import KGLinkAnnotator
+from repro.experiments.config import ExperimentProfile, SharedResources, load_resources
+from repro.experiments.references import FIGURE9_REFERENCE_NOTE
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["run", "DEFAULT_PROPORTIONS"]
+
+DEFAULT_PROPORTIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def run(resources: SharedResources | None = None,
+        profile: ExperimentProfile | str = "default",
+        dataset: str = "viznet",
+        proportions: tuple[float, ...] = DEFAULT_PROPORTIONS) -> ExperimentResult:
+    """Train KGLink and KGLink w/o msk at several training-set proportions."""
+    if resources is None:
+        resources = load_resources(profile)
+    profile = resources.profile
+    splits = resources.splits(dataset)
+
+    rows = []
+    for proportion in proportions:
+        reduced = splits.subsample_train(proportion, seed=profile.seed + 31)
+        validation = reduced.validation if len(reduced.validation.tables) else None
+        for variant, overrides in (("KGLink", {}), ("KGLink w/o msk", {"use_mask_task": False})):
+            annotator = KGLinkAnnotator(
+                resources.world.graph,
+                profile.kglink_config(**overrides),
+                linker=resources.linker,
+            )
+            annotator.fit(reduced.train, validation)
+            result = annotator.evaluate(reduced.test)
+            rows.append({
+                "dataset": dataset,
+                "proportion": proportion,
+                "variant": variant,
+                "accuracy": result.accuracy,
+                "weighted_f1": result.weighted_f1,
+                "train_tables": len(reduced.train.tables),
+            })
+
+    return ExperimentResult(
+        name="figure9_data_efficiency",
+        description="Weighted F1 / accuracy of KGLink vs KGLink w/o msk with varying p (Figure 9)",
+        rows=rows,
+        paper_reference=[],
+        notes=FIGURE9_REFERENCE_NOTE,
+    )

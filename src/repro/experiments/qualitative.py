@@ -1,0 +1,80 @@
+"""Qualitative evaluation (paper Section V-D).
+
+Compares per-class accuracy of KGLink with and without the column-type
+representation generation sub-task and reports the classes that gain the most,
+mirroring the paper's discussion of *Athlete*, *Protein* and *Film* on SemTab
+and *Artist*, *Year* and *Rank* on VizNet.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.experiments.config import ExperimentProfile, SharedResources, load_resources
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runners import get_fitted_annotator
+
+__all__ = ["run"]
+
+
+def _per_class_accuracy(y_true: list[str], y_pred: list[str]) -> dict[str, tuple[float, int]]:
+    totals: dict[str, int] = defaultdict(int)
+    correct: dict[str, int] = defaultdict(int)
+    for truth, pred in zip(y_true, y_pred):
+        totals[truth] += 1
+        if truth == pred:
+            correct[truth] += 1
+    return {label: (100.0 * correct[label] / totals[label], totals[label]) for label in totals}
+
+
+def run(resources: SharedResources | None = None,
+        profile: ExperimentProfile | str = "default",
+        datasets: tuple[str, ...] = ("semtab", "viznet"),
+        min_support: int = 5,
+        top_n: int = 3) -> ExperimentResult:
+    """Per-class accuracy gains from the representation-generation sub-task."""
+    if resources is None:
+        resources = load_resources(profile)
+    profile = resources.profile
+
+    rows = []
+    for dataset in datasets:
+        test = resources.splits(dataset).test
+        full, _ = get_fitted_annotator(resources, profile, "KGLink", dataset)
+        ablated, _ = get_fitted_annotator(
+            resources, profile, "KGLink", dataset, use_mask_task=False
+        )
+        y_true_full, y_pred_full = full.predict_corpus(test)
+        y_true_abl, y_pred_abl = ablated.predict_corpus(test)
+        full_acc = _per_class_accuracy(y_true_full, y_pred_full)
+        ablated_acc = _per_class_accuracy(y_true_abl, y_pred_abl)
+
+        deltas = []
+        for label, (accuracy, support) in full_acc.items():
+            if support < min_support or label not in ablated_acc:
+                continue
+            deltas.append((accuracy - ablated_acc[label][0], label, accuracy, support))
+        deltas.sort(key=lambda item: -item[0])
+        for delta, label, accuracy, support in deltas[:top_n]:
+            rows.append({
+                "dataset": dataset,
+                "class": label,
+                "accuracy_with_msk": accuracy,
+                "accuracy_without_msk": accuracy - delta,
+                "delta": delta,
+                "support": support,
+            })
+
+    return ExperimentResult(
+        name="qualitative_per_class_gains",
+        description="Classes gaining the most from the representation-generation task (§V-D)",
+        rows=rows,
+        paper_reference=[],
+        notes=(
+            "Paper: on SemTab the top-3 improved classes are Athlete, Protein and Film "
+            "(average +9.70 accuracy); on VizNet they are Artist, Year and Rank "
+            "(average +3.18).  The shape to preserve is that classes suffering from the "
+            "type-granularity gap (athlete-like and artist-like classes) and numeric "
+            "classes are among the main beneficiaries."
+        ),
+    )

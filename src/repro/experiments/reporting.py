@@ -1,0 +1,77 @@
+"""Result containers and plain-text rendering for the experiment runners."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of row dicts as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    table = [[_format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in table))
+        for i, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment runner plus the paper's reference values."""
+
+    name: str
+    description: str
+    rows: list[dict] = field(default_factory=list)
+    paper_reference: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable report: measured rows, then the paper's numbers."""
+        parts = [f"== {self.name} — {self.description} ==", "", "Measured (this reproduction):",
+                 format_table(self.rows)]
+        if self.paper_reference:
+            parts.extend(["", "Paper-reported reference:", format_table(self.paper_reference)])
+        if self.notes:
+            parts.extend(["", f"Notes: {self.notes}"])
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Serialise the result (rows, reference, notes) as JSON."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "rows": self.rows,
+                "paper_reference": self.paper_reference,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Write the JSON report to ``directory/<name>.json``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.json"
+        path.write_text(self.to_json())
+        return path

@@ -1,0 +1,55 @@
+"""Table III — link statistics between the datasets and the knowledge graph."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import KGCandidateExtractor
+from repro.experiments.config import ExperimentProfile, SharedResources, load_resources
+from repro.experiments.references import TABLE3_REFERENCE
+from repro.experiments.reporting import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(resources: SharedResources | None = None,
+        profile: ExperimentProfile | str = "default",
+        datasets: tuple[str, ...] = ("semtab", "viznet")) -> ExperimentResult:
+    """Compute per-corpus KG-coverage statistics (paper Table III)."""
+    if resources is None:
+        resources = load_resources(profile)
+    profile = resources.profile
+    extractor = KGCandidateExtractor(
+        resources.world.graph, profile.part1_config(), linker=resources.linker
+    )
+
+    rows = []
+    for dataset in datasets:
+        corpus = resources.corpus(dataset)
+        key = ("table3", dataset)
+        if key not in resources.cache:
+            processed = extractor.process_corpus(corpus.tables)
+            resources.cache[key] = extractor.link_statistics(processed)
+        stats = resources.cache[key]
+        total = max(stats["total_columns"], 1)
+        rows.append({
+            "dataset": dataset,
+            "numeric_columns": stats["numeric_columns"],
+            "numeric_pct": 100.0 * stats["numeric_columns"] / total,
+            "non_numeric_without_feature_vector": stats["non_numeric_without_feature_vector"],
+            "without_fv_pct": 100.0 * stats["non_numeric_without_feature_vector"] / total,
+            "non_numeric_without_candidate_type": stats["non_numeric_without_candidate_type"],
+            "without_ct_pct": 100.0 * stats["non_numeric_without_candidate_type"] / total,
+            "total_columns": stats["total_columns"],
+        })
+
+    return ExperimentResult(
+        name="table3_link_statistics",
+        description="Link statistics between the datasets and the KG (paper Table III)",
+        rows=rows,
+        paper_reference=TABLE3_REFERENCE,
+        notes=(
+            "Shape to preserve: SemTab has no numeric columns and near-total KG coverage, "
+            "while a large share of VizNet columns are numeric or yield no candidate type, "
+            "and the feature vector recovers KG signal for many columns the candidate-type "
+            "filter leaves empty."
+        ),
+    )

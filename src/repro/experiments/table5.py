@@ -1,0 +1,49 @@
+"""Table V — comparison of the row-filter mechanisms.
+
+``our top-k row filter`` sorts rows by their linking score before keeping the
+first ``k``; ``original top-k rows`` keeps the table's first ``k`` rows in
+their original order.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentProfile, SharedResources, load_resources
+from repro.experiments.references import TABLE5_REFERENCE
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runners import get_fitted_annotator
+
+__all__ = ["run"]
+
+FILTERS = {
+    "our top-k row filter": {"row_filter": "linkage"},
+    "original top-k rows": {"row_filter": "original"},
+}
+
+
+def run(resources: SharedResources | None = None,
+        profile: ExperimentProfile | str = "default",
+        datasets: tuple[str, ...] = ("semtab", "viznet")) -> ExperimentResult:
+    """Fit KGLink with both row-filter mechanisms on every dataset (paper Table V)."""
+    if resources is None:
+        resources = load_resources(profile)
+    profile = resources.profile
+
+    rows = []
+    for filter_name, overrides in FILTERS.items():
+        row: dict = {"filter": filter_name}
+        for dataset in datasets:
+            _, result = get_fitted_annotator(resources, profile, "KGLink", dataset, **overrides)
+            row[f"{dataset}_accuracy"] = result.accuracy
+            row[f"{dataset}_f1"] = result.weighted_f1
+        rows.append(row)
+
+    return ExperimentResult(
+        name="table5_row_filter",
+        description="Performance comparison of table row filters (paper Table V)",
+        rows=rows,
+        paper_reference=TABLE5_REFERENCE,
+        notes=(
+            "Shape to preserve: the linking-score row filter is at least as good as taking "
+            "the original first k rows, with the larger gain on the KG-rich SemTab corpus."
+        ),
+    )

@@ -1,0 +1,151 @@
+"""Okapi BM25 inverted index over knowledge-graph entity documents.
+
+This replaces the Elasticsearch deployment used by the paper.  The scoring
+function is exactly Eq. 1–2:
+
+``score(q, e) = sum_w IDF(w) * f(w, e) * (k1 + 1) / (f(w, e) + k1 * (1 - b + b * |e| / avg_len))``
+
+with ``IDF(w) = ln((N - n(w) + 0.5) / (n(w) + 0.5) + 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.text.tokenizer import basic_tokenize
+
+__all__ = ["BM25Parameters", "SearchHit", "BM25Index"]
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """The two tunable Okapi BM25 parameters (Elasticsearch defaults)."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError("b must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A retrieval result: document (entity) id and its BM25 score."""
+
+    doc_id: str
+    score: float
+
+
+class BM25Index:
+    """An inverted index with Okapi BM25 ranking.
+
+    Documents are added with :meth:`add_document` (or in bulk through
+    :meth:`build`) and queried with :meth:`search`.  Scores are always
+    non-negative; a query with no overlapping terms returns no hits.
+    """
+
+    def __init__(self, parameters: BM25Parameters | None = None):
+        self.parameters = parameters or BM25Parameters()
+        self._doc_term_counts: dict[str, Counter[str]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._postings: dict[str, set[str]] = defaultdict(set)
+        self._total_length = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index one document; re-adding an id raises ``ValueError``."""
+        if doc_id in self._doc_term_counts:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        terms = basic_tokenize(text)
+        counts = Counter(terms)
+        self._doc_term_counts[doc_id] = counts
+        self._doc_lengths[doc_id] = len(terms)
+        self._total_length += len(terms)
+        for term in counts:
+            self._postings[term].add(doc_id)
+
+    @classmethod
+    def build(cls, documents: Iterable[tuple[str, str]],
+              parameters: BM25Parameters | None = None) -> "BM25Index":
+        """Build an index from ``(doc_id, text)`` pairs."""
+        index = cls(parameters)
+        for doc_id, text in documents:
+            index.add_document(doc_id, text)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._doc_term_counts)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._doc_term_counts
+
+    @property
+    def average_document_length(self) -> float:
+        if not self._doc_term_counts:
+            return 0.0
+        return self._total_length / len(self._doc_term_counts)
+
+    def document_frequency(self, term: str) -> int:
+        """Number of indexed documents containing ``term``."""
+        return len(self._postings.get(term.lower(), ()))
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency with the +1 smoothing of Eq. 2."""
+        n_docs = len(self._doc_term_counts)
+        n_term = self.document_frequency(term)
+        return math.log((n_docs - n_term + 0.5) / (n_term + 0.5) + 1.0)
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+    def score(self, query: str, doc_id: str) -> float:
+        """BM25 score of ``doc_id`` for ``query`` (0 for unindexed documents)."""
+        counts = self._doc_term_counts.get(doc_id)
+        if counts is None:
+            return 0.0
+        k1, b = self.parameters.k1, self.parameters.b
+        avg_len = self.average_document_length or 1.0
+        doc_len = self._doc_lengths[doc_id]
+        total = 0.0
+        for term in basic_tokenize(query):
+            frequency = counts.get(term, 0)
+            if frequency == 0:
+                continue
+            idf = self.idf(term)
+            numerator = frequency * (k1 + 1.0)
+            denominator = frequency + k1 * (1.0 - b + b * doc_len / avg_len)
+            total += idf * numerator / denominator
+        return total
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchHit]:
+        """Return the ``top_k`` highest-scoring documents for ``query``.
+
+        Only documents sharing at least one term with the query are scored,
+        mirroring how an inverted index narrows the candidate set.
+        """
+        if top_k <= 0:
+            return []
+        query_terms = basic_tokenize(query)
+        if not query_terms:
+            return []
+        candidates: set[str] = set()
+        for term in query_terms:
+            candidates.update(self._postings.get(term, ()))
+        scored = [
+            SearchHit(doc_id=doc_id, score=self.score(query, doc_id))
+            for doc_id in candidates
+        ]
+        scored = [hit for hit in scored if hit.score > 0.0]
+        scored.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return scored[:top_k]

@@ -1,0 +1,227 @@
+"""Differentiable functional operations used by the transformer layers.
+
+Each function takes and returns :class:`~repro.nn.tensor.Tensor` objects and
+participates in the autograd graph.  Fused implementations (softmax, layer
+norm, cross entropy) are provided because composing them from primitives would
+be substantially slower and numerically less stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "relu",
+    "tanh",
+    "dropout",
+    "layer_norm",
+    "embedding_lookup",
+    "cross_entropy",
+    "kl_div_with_soft_targets",
+    "masked_fill",
+]
+
+
+def _child(data: np.ndarray, parents, backward) -> Tensor:
+    """Build an output tensor wired into the autograd graph."""
+    out = Tensor(data)
+    if is_grad_enabled() and any(p.requires_grad for p in parents):
+        out.requires_grad = True
+        out._parents = tuple(parents)
+        out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (grad - dot))
+
+    return _child(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    soft = np.exp(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return _child(out_data, (x,), backward)
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x.data + 0.044715 * x.data**3)
+    tanh_inner = np.tanh(inner)
+    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+
+    def backward(grad: np.ndarray) -> None:
+        sech2 = 1.0 - tanh_inner**2
+        d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        x._accumulate(grad * local)
+
+    return _child(out_data, (x,), backward)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: active only during training."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.data.shape) < keep).astype(np.float64) / keep
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(grad * mask)
+
+    return _child(out_data, (x,), backward)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.data.mean(axis=-1, keepdims=True)
+    var = x.data.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalised = (x.data - mean) * inv_std
+    out_data = normalised * weight.data + bias.data
+
+    def backward(grad: np.ndarray) -> None:
+        d = x.data.shape[-1]
+        if weight.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            weight._accumulate((grad * normalised).sum(axis=axes))
+        if bias.requires_grad:
+            axes = tuple(range(grad.ndim - 1))
+            bias._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            g = grad * weight.data
+            mean_g = g.mean(axis=-1, keepdims=True)
+            mean_gx = (g * normalised).mean(axis=-1, keepdims=True)
+            x._accumulate(inv_std * (g - mean_g - normalised * mean_gx))
+        # d is unused beyond documentation of the normalised axis size.
+        del d
+
+    return _child(out_data, (x, weight, bias), backward)
+
+
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` by integer ``indices`` (any shape)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+
+    def backward(grad: np.ndarray) -> None:
+        full = np.zeros_like(weight.data)
+        np.add.at(full, indices.reshape(-1), grad.reshape(-1, weight.data.shape[-1]))
+        weight._accumulate(full)
+
+    return _child(out_data, (weight,), backward)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: int = -100,
+    class_weights: np.ndarray | None = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` ``(N, C)`` and integer targets ``(N,)``.
+
+    Targets equal to ``ignore_index`` do not contribute to the loss.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.data.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits of shape (N, C)")
+    valid = targets != ignore_index
+    n_valid = max(int(valid.sum()), 1)
+
+    shifted = logits.data - logits.data.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_norm
+    probs = np.exp(log_probs)
+
+    safe_targets = np.where(valid, targets, 0)
+    picked = log_probs[np.arange(len(targets)), safe_targets]
+    if class_weights is not None:
+        weights = np.where(valid, class_weights[safe_targets], 0.0)
+    else:
+        weights = valid.astype(np.float64)
+    total_weight = max(weights.sum(), 1e-12)
+    loss_value = -(picked * weights).sum() / total_weight
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64).reshape(())
+        d_logits = probs * weights[:, None]
+        d_logits[np.arange(len(targets)), safe_targets] -= weights
+        d_logits /= total_weight
+        logits._accumulate(g * d_logits)
+
+    out = _child(np.asarray(loss_value), (logits,), backward)
+    # Expose the number of contributing rows so callers can weight batches.
+    out.name = f"cross_entropy(n={n_valid})"
+    return out
+
+
+def kl_div_with_soft_targets(
+    student_logits: Tensor, teacher_probs: np.ndarray, temperature: float = 1.0
+) -> Tensor:
+    """Soft cross-entropy ``-sum(p_teacher * log p_student)`` averaged over rows.
+
+    This is the DMLM objective of the paper (Eq. 13): the teacher distribution
+    comes from the ground-truth table encoding, the student distribution from
+    the masked table encoding.  Gradients flow only into the student logits.
+    """
+    teacher_probs = np.asarray(teacher_probs, dtype=np.float64)
+    if student_logits.data.shape != teacher_probs.shape:
+        raise ValueError("student logits and teacher probabilities must have the same shape")
+
+    scaled = student_logits.data / temperature
+    shifted = scaled - scaled.max(axis=-1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    log_probs = shifted - log_norm
+    probs = np.exp(log_probs)
+    n_rows = max(student_logits.data.shape[0], 1)
+    loss_value = -(teacher_probs * log_probs).sum() / n_rows
+
+    def backward(grad: np.ndarray) -> None:
+        g = np.asarray(grad, dtype=np.float64).reshape(())
+        row_mass = teacher_probs.sum(axis=-1, keepdims=True)
+        d_logits = (probs * row_mass - teacher_probs) / (temperature * n_rows)
+        student_logits._accumulate(g * d_logits)
+
+    return _child(np.asarray(loss_value), (student_logits,), backward)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace positions where ``mask`` is true with ``value`` (no grad there)."""
+    mask = np.asarray(mask, dtype=bool)
+    out_data = np.where(mask, value, x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(np.where(mask, 0.0, grad))
+
+    return _child(out_data, (x,), backward)

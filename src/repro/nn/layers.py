@@ -1,0 +1,308 @@
+"""Neural-network modules used to build the transformer encoders.
+
+The module system mirrors the familiar PyTorch API closely enough that the
+model code in :mod:`repro.plm` and :mod:`repro.core` reads naturally:
+``Module`` tracks parameters and sub-modules recursively, supports
+``state_dict`` / ``load_state_dict`` and a ``train()`` / ``eval()`` switch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "ModuleList",
+    "Sequential",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "MultiHeadSelfAttention",
+    "TransformerEncoderLayer",
+]
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a trainable parameter of a module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically for parameter iteration and
+    state-dict (de)serialisation.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -- attribute discovery ------------------------------------------- #
+    def _children(self) -> Iterator[tuple[str, "Module"]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Module):
+                yield key, value
+
+    def _direct_parameters(self) -> Iterator[tuple[str, Parameter]]:
+        for key, value in vars(self).items():
+            if isinstance(value, Parameter):
+                yield key, value
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(qualified_name, parameter)`` pairs recursively."""
+        for key, param in self._direct_parameters():
+            yield (f"{prefix}{key}", param)
+        for key, child in self._children():
+            yield from child.named_parameters(prefix=f"{prefix}{key}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all trainable parameters as a flat list."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights in the module."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    # -- training mode -------------------------------------------------- #
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        self.training = mode
+        for _, child in self._children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode (dropout disabled)."""
+        return self.train(False)
+
+    # -- gradients ------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Clear the gradients of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict ------------------------------------------------------ #
+    def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Return a flat mapping from parameter names to numpy arrays."""
+        return {name: param.data.copy() for name, param in self.named_parameters(prefix)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter values from a mapping produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)!r}, "
+                f"unexpected={sorted(unexpected)!r}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
+                )
+            param.data = value.copy()
+
+    # -- call protocol --------------------------------------------------- #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class ModuleList(Module):
+    """A list of sub-modules that is properly registered for recursion."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        self._modules: list[Module] = list(modules)
+        for index, module in enumerate(self._modules):
+            setattr(self, f"item_{index}", module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, f"item_{len(self._modules)}", module)
+        self._modules.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[index]
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - containers are not called
+        raise RuntimeError("ModuleList is a container and cannot be called")
+
+
+class Sequential(Module):
+    """Apply modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.layers = ModuleList(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = Parameter(rng.normal(0.0, scale, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.weight = Parameter(rng.normal(0.0, 0.02, size=(num_embeddings, embedding_dim)))
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding index out of range [0, {self.num_embeddings}): "
+                f"min={indices.min()}, max={indices.max()}"
+            )
+        return F.embedding_lookup(self.weight, indices)
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learnable scale/shift."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.weight = Parameter(np.ones(normalized_shape))
+        self.bias = Parameter(np.zeros(normalized_shape))
+        self.eps = eps
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.1, seed: int = 0):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention with optional masking.
+
+    Supports an additive attention bias (used by the DeBERTa-style relative
+    position variant) and a padding mask of shape ``(batch, seq)``.
+    """
+
+    def __init__(self, hidden_size: int, num_heads: int, dropout: float = 0.1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if hidden_size % num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = hidden_size // num_heads
+        self.query = Linear(hidden_size, hidden_size, rng=rng)
+        self.key = Linear(hidden_size, hidden_size, rng=rng)
+        self.value = Linear(hidden_size, hidden_size, rng=rng)
+        self.output = Linear(hidden_size, hidden_size, rng=rng)
+        self.attn_dropout = Dropout(dropout)
+
+    def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
+        return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        attention_bias: Tensor | None = None,
+    ) -> Tensor:
+        batch, seq, _ = x.shape
+        q = self._split_heads(self.query(x), batch, seq)
+        k = self._split_heads(self.key(x), batch, seq)
+        v = self._split_heads(self.value(x), batch, seq)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if attention_bias is not None:
+            scores = scores + attention_bias
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=bool)
+            # mask: (batch, seq) with True = keep.  Broadcast to (batch, 1, 1, seq).
+            blocked = ~mask[:, None, None, :]
+            scores = F.masked_fill(scores, np.broadcast_to(blocked, scores.shape), -1e9)
+
+        weights = F.softmax(scores, axis=-1)
+        weights = self.attn_dropout(weights)
+        context = weights @ v
+        context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
+        return self.output(context)
+
+
+class TransformerEncoderLayer(Module):
+    """Post-norm transformer encoder block (as in the original BERT)."""
+
+    def __init__(self, hidden_size: int, num_heads: int, intermediate_size: int,
+                 dropout: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attention = MultiHeadSelfAttention(hidden_size, num_heads, dropout, rng=rng)
+        self.attention_norm = LayerNorm(hidden_size)
+        self.ffn_in = Linear(hidden_size, intermediate_size, rng=rng)
+        self.ffn_out = Linear(intermediate_size, hidden_size, rng=rng)
+        self.ffn_norm = LayerNorm(hidden_size)
+        self.dropout = Dropout(dropout)
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        attention_bias: Tensor | None = None,
+    ) -> Tensor:
+        attended = self.attention(x, attention_mask=attention_mask, attention_bias=attention_bias)
+        x = self.attention_norm(x + self.dropout(attended))
+        hidden = F.gelu(self.ffn_in(x))
+        x = self.ffn_norm(x + self.dropout(self.ffn_out(hidden)))
+        return x

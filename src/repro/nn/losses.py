@@ -1,0 +1,125 @@
+"""Loss modules used by KGLink's multi-task objective.
+
+Three losses are required by the paper:
+
+* cross entropy for the column-type classification task (Eq. 16);
+* the DMLM (distilled masked-language-model) loss that aligns the ``[MASK]``
+  representation of the masked table with the ground-truth label
+  representation in vocabulary space (Eq. 13–14);
+* the adaptive uncertainty-weighted combination of the two (Eq. 17), with
+  trainable ``log sigma^2`` parameters following Kendall et al.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Module, Parameter
+from repro.nn.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "DMLMLoss", "UncertaintyWeightedLoss"]
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross entropy over a batch of logits and integer labels."""
+
+    def __init__(self, ignore_index: int = -100, class_weights: np.ndarray | None = None):
+        super().__init__()
+        self.ignore_index = ignore_index
+        self.class_weights = (
+            np.asarray(class_weights, dtype=np.float64) if class_weights is not None else None
+        )
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(
+            logits, targets, ignore_index=self.ignore_index, class_weights=self.class_weights
+        )
+
+
+class DMLMLoss(Module):
+    """Distilled masked-language-model loss (paper Eq. 13–14).
+
+    The student logits are the vocabulary-space projection of the ``[MASK]``
+    token of the masked table; the teacher distribution is the softmax (with
+    temperature ``T``) of the ground-truth table's label-token projection.
+    Following Hinton et al., the paper sets ``T = 2``.
+    """
+
+    def __init__(self, temperature: float = 2.0):
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+
+    def teacher_distribution(self, teacher_logits: np.ndarray) -> np.ndarray:
+        """Convert raw teacher logits to a temperature-softened distribution."""
+        scaled = np.asarray(teacher_logits, dtype=np.float64) / self.temperature
+        scaled = scaled - scaled.max(axis=-1, keepdims=True)
+        exp = np.exp(scaled)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    def forward(self, student_logits: Tensor, teacher_logits: np.ndarray) -> Tensor:
+        teacher_probs = self.teacher_distribution(teacher_logits)
+        return F.kl_div_with_soft_targets(
+            student_logits, teacher_probs, temperature=self.temperature
+        )
+
+
+class UncertaintyWeightedLoss(Module):
+    """Adaptive combination of two task losses with trainable uncertainties.
+
+    Implements Eq. 17 of the paper:
+
+    ``L_total = 1/(2 sigma_0^2) L_DMLM + 1/(2 sigma_1^2) L_CE + log(sigma_0 sigma_1)``
+
+    The module stores ``log sigma^2`` for numerical stability, exactly as in
+    the Kendall et al. formulation, and exposes the current values so the
+    Figure 8 experiment can record their training trajectories.
+    """
+
+    def __init__(self, initial_log_sigma0_sq: float = 0.0, initial_log_sigma1_sq: float = 0.0):
+        super().__init__()
+        self.log_sigma0_sq = Parameter(np.asarray([initial_log_sigma0_sq]))
+        self.log_sigma1_sq = Parameter(np.asarray([initial_log_sigma1_sq]))
+
+    @property
+    def sigma_values(self) -> tuple[float, float]:
+        """Return the current ``(log sigma_0^2, log sigma_1^2)`` values."""
+        return float(self.log_sigma0_sq.data[0]), float(self.log_sigma1_sq.data[0])
+
+    def forward(self, dmlm_loss: Tensor, classification_loss: Tensor) -> Tensor:
+        precision0 = (-self.log_sigma0_sq).exp() * 0.5
+        precision1 = (-self.log_sigma1_sq).exp() * 0.5
+        regulariser = (self.log_sigma0_sq + self.log_sigma1_sq) * 0.5
+        combined = (
+            precision0 * dmlm_loss
+            + precision1 * classification_loss
+            + regulariser
+        )
+        return combined.sum()
+
+
+class FixedWeightLoss(Module):
+    """Non-adaptive combination used for the Figure 8(a) sensitivity sweep.
+
+    ``L_total = 1/(2 sigma_0^2) L_DMLM + 1/(2 sigma_1^2) L_CE`` with the two
+    ``log sigma^2`` values held constant rather than learned.
+    """
+
+    def __init__(self, log_sigma0_sq: float, log_sigma1_sq: float):
+        super().__init__()
+        self._w0 = 0.5 * float(np.exp(-log_sigma0_sq))
+        self._w1 = 0.5 * float(np.exp(-log_sigma1_sq))
+        self.log_sigma0_sq = log_sigma0_sq
+        self.log_sigma1_sq = log_sigma1_sq
+
+    @property
+    def sigma_values(self) -> tuple[float, float]:
+        return self.log_sigma0_sq, self.log_sigma1_sq
+
+    def forward(self, dmlm_loss: Tensor, classification_loss: Tensor) -> Tensor:
+        return dmlm_loss * self._w0 + classification_loss * self._w1
+
+
+__all__.append("FixedWeightLoss")

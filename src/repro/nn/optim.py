@@ -1,0 +1,147 @@
+"""Optimisers and learning-rate schedules.
+
+The paper fine-tunes with AdamW (eps = 1e-6, initial learning rate 3e-5) and a
+linear decay without warm-up; both are provided here, together with plain SGD
+used by a couple of baselines and unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "AdamW", "LinearDecaySchedule", "ConstantSchedule", "clip_grad_norm"]
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm in-place; return the pre-clip norm."""
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm > 0:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base optimiser tracking a parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float):
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += param.grad
+                update = velocity
+            else:
+                update = param.grad
+            param.data -= self.lr * update
+
+
+class AdamW(Optimizer):
+    """AdamW with decoupled weight decay (Loshchilov & Hutter).
+
+    Default hyper-parameters follow the paper's experimental settings:
+    ``eps=1e-6`` and an initial learning rate of ``3e-5`` are supplied by the
+    trainers; the defaults here are the usual Adam values.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-6,
+        weight_decay: float = 0.01,
+    ):
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._step
+        bias2 = 1.0 - beta2**self._step
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class ConstantSchedule:
+    """A learning-rate schedule that never changes the rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+
+    def step(self) -> float:
+        return self.optimizer.lr
+
+
+class LinearDecaySchedule:
+    """Linearly decay the learning rate from its initial value to zero.
+
+    Matches the paper: "The learning rate was linearly decayed without
+    warm-up."
+    """
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, min_lr: float = 0.0):
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self._current_step = 0
+
+    def step(self) -> float:
+        """Advance one step and return the new learning rate."""
+        self._current_step = min(self._current_step + 1, self.total_steps)
+        fraction = 1.0 - self._current_step / self.total_steps
+        new_lr = max(self.min_lr, self.base_lr * fraction)
+        self.optimizer.lr = new_lr
+        return new_lr

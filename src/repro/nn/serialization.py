@@ -1,0 +1,43 @@
+"""Save and load model weights as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_module"]
+
+
+def save_state_dict(state: dict[str, np.ndarray], path: str | os.PathLike) -> Path:
+    """Write a state dict to ``path`` (``.npz``); return the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **state)
+    # numpy appends .npz if it is missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_state_dict(path: str | os.PathLike) -> dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str | os.PathLike) -> Path:
+    """Persist a module's parameters to disk."""
+    return save_state_dict(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters into an already-constructed module and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

@@ -1,0 +1,454 @@
+"""Reverse-mode autodiff tensor built on numpy.
+
+The design follows the classic define-by-run pattern: every operation builds a
+node in an implicit computation graph by recording its parent tensors and a
+closure that accumulates gradients into them.  Calling :meth:`Tensor.backward`
+on a scalar (or with an explicit output gradient) runs a topological sort of
+the graph and applies the closures in reverse order.
+
+Only the operations needed by the transformer encoders and the KGLink training
+objective are implemented, but they are implemented with full broadcasting
+support so the layers read naturally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+# Global switch mirroring ``torch.no_grad``: while disabled, operations do not
+# record the computation graph, which makes inference cheap.
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` so that it matches ``shape`` (inverse of broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        return value.astype(np.float64) if value.dtype != np.float64 else value
+    return np.asarray(value, dtype=np.float64)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a float64 numpy array.
+    requires_grad:
+        When true, gradients flowing through operations involving this tensor
+        are accumulated into :attr:`grad` during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data: np.ndarray = _as_array(data)
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: np.ndarray | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        child = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            child.requires_grad = True
+            child._parents = tuple(parents)
+            child._backward = backward
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.data.shape))
+            other._accumulate(_unbroadcast(grad, other.data.shape))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make_child(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.data.shape))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.data.shape)
+            )
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._ensure(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = self._ensure(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions and shape manipulation
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_expanded = grad
+            if axis is not None and not keepdims:
+                grad_expanded = np.expand_dims(grad, axis=axis)
+            self._accumulate(np.broadcast_to(grad_expanded, self.data.shape).copy())
+
+        return self._make_child(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad_expanded = grad
+            out_expanded = out_data
+            if axis is not None and not keepdims:
+                grad_expanded = np.expand_dims(grad, axis=axis)
+                out_expanded = np.expand_dims(out_data, axis=axis)
+            mask = (self.data == out_expanded).astype(np.float64)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad_expanded)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make_child(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # graph traversal
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective with respect to this tensor.  When
+            omitted the tensor must be a scalar and a gradient of one is used.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        ordering: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            visited.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        visited.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    ordering.append(current)
+                    stack.pop()
+
+        visit(self)
+
+        self._accumulate(grad)
+        for node in reversed(ordering):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape, scale: float = 1.0, rng: np.random.Generator | None = None,
+              requires_grad: bool = False) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        datas = [t.data for t in tensors]
+        out_data = np.concatenate(datas, axis=axis)
+        sizes = [d.shape[axis] for d in datas]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+        child = Tensor(out_data)
+        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+            child.requires_grad = True
+            child._parents = tuple(tensors)
+            child._backward = backward
+        return child
+
+    @staticmethod
+    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = list(tensors)
+        out_data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            moved = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, moved):
+                tensor._accumulate(piece)
+
+        child = Tensor(out_data)
+        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
+            child.requires_grad = True
+            child._parents = tuple(tensors)
+            child._backward = backward
+        return child

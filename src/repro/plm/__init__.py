@@ -1,0 +1,31 @@
+"""Pre-trained language model substrate.
+
+The paper fine-tunes BERT (and, in one ablation, DeBERTa) as the encoder of
+its deep-learning component.  Pre-trained checkpoints cannot be downloaded in
+this environment, so this package provides:
+
+* :class:`~repro.plm.config.PLMConfig` — encoder hyper-parameters;
+* :class:`~repro.plm.model.MiniBERT` — a from-scratch transformer encoder with
+  token/position embeddings, a masked-language-model head and a pooled
+  ``[CLS]`` output;
+* :class:`~repro.plm.model.MiniDeBERTa` — the same encoder with
+  disentangled relative-position attention biases (the ``KGLink DeBERTa``
+  ablation row of Table II);
+* :mod:`~repro.plm.pretrain` — masked-language-model pre-training on a text
+  corpus derived from the synthetic knowledge graph, which gives the encoder
+  the "prior knowledge" role BERT plays in the paper.
+"""
+
+from repro.plm.config import PLMConfig
+from repro.plm.model import MiniBERT, MiniDeBERTa, create_encoder
+from repro.plm.pretrain import MLMPretrainer, PretrainConfig, build_pretraining_texts
+
+__all__ = [
+    "PLMConfig",
+    "MiniBERT",
+    "MiniDeBERTa",
+    "create_encoder",
+    "MLMPretrainer",
+    "PretrainConfig",
+    "build_pretraining_texts",
+]

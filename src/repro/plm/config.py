@@ -1,0 +1,46 @@
+"""Configuration of the transformer encoders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PLMConfig"]
+
+
+@dataclass(frozen=True)
+class PLMConfig:
+    """Hyper-parameters of the MiniBERT / MiniDeBERTa encoders.
+
+    The defaults are deliberately tiny compared with BERT-base (hidden size 64
+    instead of 768, 2 layers instead of 12) so that the full experiment suite
+    runs on CPU in minutes.  The architecture — embeddings, stacked
+    self-attention blocks, an MLM head, a ``[CLS]`` pooler — is the same, which
+    is what KGLink's design depends on.
+    """
+
+    vocab_size: int = 4000
+    hidden_size: int = 64
+    num_layers: int = 2
+    num_heads: int = 4
+    intermediate_size: int = 128
+    max_position_embeddings: int = 256
+    dropout: float = 0.1
+    relative_attention: bool = False
+    relative_attention_buckets: int = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.vocab_size <= 0 or self.num_layers <= 0:
+            raise ValueError("vocab_size and num_layers must be positive")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must lie in [0, 1)")
+
+    def with_vocab_size(self, vocab_size: int) -> "PLMConfig":
+        """Return a copy with the vocabulary size replaced."""
+        return replace(self, vocab_size=vocab_size)
+
+    def as_deberta(self) -> "PLMConfig":
+        """Return a copy with relative (disentangled) attention enabled."""
+        return replace(self, relative_attention=True)

@@ -1,0 +1,133 @@
+"""MiniBERT and MiniDeBERTa transformer encoders.
+
+``MiniBERT`` follows the original BERT encoder: learned token and position
+embeddings, a stack of post-norm transformer blocks, an MLM head that projects
+hidden states back to vocabulary space (Eq. 14 of the paper uses exactly this
+projection for the column-type representation generation task).
+
+``MiniDeBERTa`` adds a learned relative-position attention bias shared across
+layers — a compact stand-in for DeBERTa's disentangled attention, providing
+the "more powerful PLM encoder" row of the paper's ablation (Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.plm.config import PLMConfig
+
+__all__ = ["MiniBERT", "MiniDeBERTa", "create_encoder"]
+
+
+class _Embeddings(nn.Module):
+    """Token + position embeddings with layer norm and dropout."""
+
+    def __init__(self, config: PLMConfig, rng: np.random.Generator):
+        super().__init__()
+        self.token = nn.Embedding(config.vocab_size, config.hidden_size, rng=rng)
+        self.position = nn.Embedding(config.max_position_embeddings, config.hidden_size, rng=rng)
+        self.norm = nn.LayerNorm(config.hidden_size)
+        self.dropout = nn.Dropout(config.dropout, seed=config.seed)
+        self.max_positions = config.max_position_embeddings
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        batch, seq = token_ids.shape
+        if seq > self.max_positions:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_position_embeddings {self.max_positions}"
+            )
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        embeddings = self.token(token_ids) + self.position(positions)
+        return self.dropout(self.norm(embeddings))
+
+
+class MiniBERT(nn.Module):
+    """A small BERT-style bidirectional transformer encoder with an MLM head."""
+
+    def __init__(self, config: PLMConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.embeddings = _Embeddings(config, rng)
+        self.layers = nn.ModuleList(
+            [
+                nn.TransformerEncoderLayer(
+                    config.hidden_size, config.num_heads, config.intermediate_size,
+                    dropout=config.dropout, rng=rng,
+                )
+                for _ in range(config.num_layers)
+            ]
+        )
+        self.pooler = nn.Linear(config.hidden_size, config.hidden_size, rng=rng)
+        self.mlm_head = nn.Linear(config.hidden_size, config.vocab_size, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    def _attention_bias(self, seq_len: int) -> Tensor | None:
+        """Additive attention bias; the plain BERT encoder has none."""
+        return None
+
+    def forward(self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Encode token ids into contextual hidden states ``(batch, seq, hidden)``."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        hidden = self.embeddings(token_ids)
+        bias = self._attention_bias(token_ids.shape[1])
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask=attention_mask, attention_bias=bias)
+        return hidden
+
+    def encode(self, token_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Alias of :meth:`forward` (Eq. 12: ``Y = BERT(S)``)."""
+        return self.forward(token_ids, attention_mask)
+
+    def pooled_output(self, hidden: Tensor) -> Tensor:
+        """Tanh-pooled representation of the first (``[CLS]``) token."""
+        first = hidden[:, 0, :]
+        return F.tanh(self.pooler(first))
+
+    def vocabulary_logits(self, hidden: Tensor) -> Tensor:
+        """Project hidden states to vocabulary space (Eq. 14: ``W_o H``)."""
+        return self.mlm_head(hidden)
+
+    @property
+    def hidden_size(self) -> int:
+        return self.config.hidden_size
+
+
+class MiniDeBERTa(MiniBERT):
+    """MiniBERT with a learned relative-position attention bias.
+
+    The bias is a ``(num_heads, num_buckets)`` table indexed by the bucketed
+    signed distance between query and key positions, shared across layers —
+    the lightweight equivalent of DeBERTa's disentangled attention used by the
+    ``KGLink DeBERTa`` ablation.
+    """
+
+    def __init__(self, config: PLMConfig):
+        if not config.relative_attention:
+            config = config.as_deberta()
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed + 1)
+        self.relative_bias = nn.Embedding(
+            2 * config.relative_attention_buckets + 1, config.num_heads, rng=rng
+        )
+
+    def _attention_bias(self, seq_len: int) -> Tensor | None:
+        buckets = self.config.relative_attention_buckets
+        positions = np.arange(seq_len)
+        distance = positions[None, :] - positions[:, None]
+        clipped = np.clip(distance, -buckets, buckets) + buckets
+        # (seq, seq, heads) -> (1, heads, seq, seq) so it broadcasts over batch.
+        bias = self.relative_bias(clipped)
+        bias = bias.transpose(2, 0, 1).reshape(1, self.config.num_heads, seq_len, seq_len)
+        return bias
+
+
+def create_encoder(config: PLMConfig) -> MiniBERT:
+    """Factory returning the encoder matching ``config.relative_attention``."""
+    if config.relative_attention:
+        return MiniDeBERTa(config)
+    return MiniBERT(config)

@@ -1,0 +1,23 @@
+"""Text processing substrate: tokenisation, vocabulary and NER schema detection.
+
+The paper uses the BERT WordPiece tokenizer and the spaCy named-entity schema
+(to decide whether a cell mention is a NUMBER/DATE — unsuitable for KG linking
+— or whether a candidate type entity is a PERSON/DATE — unsuitable as a column
+type).  Both are replaced here by self-contained implementations with the same
+interfaces.
+"""
+
+from repro.text.vocab import Vocabulary, SpecialTokens
+from repro.text.tokenizer import WordPieceTokenizer, basic_tokenize
+from repro.text.ner import EntitySchema, detect_schema, is_numeric_mention, is_date_mention
+
+__all__ = [
+    "Vocabulary",
+    "SpecialTokens",
+    "WordPieceTokenizer",
+    "basic_tokenize",
+    "EntitySchema",
+    "detect_schema",
+    "is_numeric_mention",
+    "is_date_mention",
+]

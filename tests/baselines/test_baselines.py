@@ -1,0 +1,175 @@
+"""Tests of the baseline annotators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    DoduoAnnotator,
+    HNNAnnotator,
+    MTabAnnotator,
+    PLMBaselineConfig,
+    RECAAnnotator,
+    SherlockAnnotator,
+    SudowoodoAnnotator,
+    TaBERTAnnotator,
+)
+from repro.baselines.hnn import HNNConfig, _character_statistics
+from repro.baselines.sherlock import SherlockConfig
+from repro.data.corpus import TableCorpus
+from repro.data.table import Column
+
+
+TINY_PLM_CONFIG = PLMBaselineConfig(
+    epochs=1, batch_size=4, learning_rate=1e-3, pretrain_steps=3,
+    hidden_size=32, num_layers=1, num_heads=2, intermediate_size=48,
+    vocab_size=1200, max_position_embeddings=160, max_tokens_per_column=14, max_rows=6,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_splits(semtab_splits):
+    train = TableCorpus("train", semtab_splits.train.tables[:12],
+                        semtab_splits.train.label_vocabulary)
+    test = TableCorpus("test", semtab_splits.test.tables[:5],
+                       semtab_splits.train.label_vocabulary)
+    return train, test
+
+
+class TestPLMBaselineConfig:
+    def test_plm_config_inherits_sizes(self):
+        config = PLMBaselineConfig(hidden_size=48, num_heads=4)
+        assert config.plm_config().hidden_size == 48
+
+    def test_training_config_disables_kg_components(self):
+        training = PLMBaselineConfig().training_config()
+        assert training.use_mask_task is False
+        assert training.use_feature_vector is False
+        assert training.use_candidate_types is False
+
+
+@pytest.mark.parametrize("annotator_cls", [DoduoAnnotator, TaBERTAnnotator,
+                                           SudowoodoAnnotator, RECAAnnotator])
+class TestPLMBaselines:
+    def test_fit_predict_evaluate(self, annotator_cls, tiny_splits):
+        train, test = tiny_splits
+        annotator = annotator_cls(TINY_PLM_CONFIG)
+        annotator.fit(train)
+        y_true, y_pred = annotator.predict_corpus(test)
+        assert len(y_true) == len(y_pred) > 0
+        assert set(y_pred) <= set(train.label_vocabulary)
+        result = annotator.evaluate(test)
+        assert 0.0 <= result.accuracy <= 100.0
+        assert annotator.fit_seconds > 0
+
+    def test_predict_before_fit_raises(self, annotator_cls, tiny_splits):
+        _, test = tiny_splits
+        with pytest.raises(RuntimeError):
+            annotator_cls(TINY_PLM_CONFIG).predict_corpus(test)
+
+
+class TestUnitSerialization:
+    def test_doduo_one_unit_per_table(self, tiny_splits):
+        train, _ = tiny_splits
+        annotator = DoduoAnnotator(TINY_PLM_CONFIG)
+        annotator.fit(train)
+        table = train.tables[0]
+        units = annotator.serialize_units(table)
+        assert len(units) == 1
+        assert units[0].n_columns == min(table.n_columns, TINY_PLM_CONFIG.max_columns)
+
+    def test_sudowoodo_one_unit_per_column(self, tiny_splits):
+        train, _ = tiny_splits
+        annotator = SudowoodoAnnotator(TINY_PLM_CONFIG)
+        annotator.fit(train)
+        table = train.tables[0]
+        units = annotator.serialize_units(table)
+        assert len(units) == min(table.n_columns, TINY_PLM_CONFIG.max_columns)
+        assert all(unit.n_columns == 1 for unit in units)
+
+    def test_tabert_uses_snapshot_rows(self, tiny_splits):
+        train, _ = tiny_splits
+        annotator = TaBERTAnnotator(TINY_PLM_CONFIG)
+        annotator.fit(train)
+        units = annotator.serialize_units(train.tables[0])
+        assert len(units) == 1
+
+    def test_reca_appends_related_columns(self, tiny_splits):
+        train, _ = tiny_splits
+        annotator = RECAAnnotator(TINY_PLM_CONFIG, num_related_columns=2)
+        annotator.fit(train)
+        annotator.prepare_corpus_context(train)
+        plain = SudowoodoAnnotator(TINY_PLM_CONFIG)
+        plain.tokenizer = annotator.tokenizer
+        plain._label_to_index = annotator._label_to_index
+        reca_units = annotator.serialize_units(train.tables[0])
+        plain_units = plain.serialize_units(train.tables[0])
+        # Related columns make RECA's sequences at least as long as the plain ones.
+        assert sum(u.sequence_length for u in reca_units) >= sum(
+            u.sequence_length for u in plain_units
+        )
+
+
+class TestMTab:
+    def test_fit_learns_translation_and_fallback(self, graph, linker, tiny_splits):
+        train, test = tiny_splits
+        annotator = MTabAnnotator(graph, linker=linker)
+        annotator.fit(train)
+        assert annotator.fallback_label in train.label_vocabulary
+        y_true, y_pred = annotator.predict_corpus(test)
+        assert len(y_true) == len(y_pred) > 0
+
+    def test_strong_on_kg_derived_corpus(self, graph, linker, semtab_splits):
+        annotator = MTabAnnotator(graph, linker=linker)
+        annotator.fit(semtab_splits.train)
+        result = annotator.evaluate(semtab_splits.test)
+        # SemTab-style labels are KG type labels, so the KG-voting baseline
+        # must be well above the majority-class floor.
+        assert result.accuracy > 50.0
+
+    def test_predict_before_fit_raises(self, graph, linker, tiny_splits):
+        _, test = tiny_splits
+        with pytest.raises(RuntimeError):
+            MTabAnnotator(graph, linker=linker).predict_corpus(test)
+
+
+class TestHNN:
+    def test_character_statistics_shape(self):
+        column = Column(name="x", cells=["abc", "de 12", "F-9"])
+        assert _character_statistics(column).shape == (8,)
+
+    def test_character_statistics_empty_column(self):
+        assert _character_statistics(Column(name="x", cells=["", ""])).shape == (8,)
+
+    def test_fit_and_predict(self, graph, linker, tiny_splits):
+        train, test = tiny_splits
+        annotator = HNNAnnotator(graph, HNNConfig(epochs=5), linker=linker)
+        annotator.fit(train)
+        y_true, y_pred = annotator.predict_corpus(test)
+        assert len(y_true) == len(y_pred) > 0
+        assert set(y_pred) <= set(train.label_vocabulary)
+
+    def test_predict_before_fit_raises(self, graph, linker, tiny_splits):
+        _, test = tiny_splits
+        with pytest.raises(RuntimeError):
+            HNNAnnotator(graph, linker=linker).predict_corpus(test)
+
+
+class TestSherlock:
+    def test_fit_and_predict(self, tiny_splits):
+        train, test = tiny_splits
+        annotator = SherlockAnnotator(SherlockConfig(epochs=5, vocabulary_size=100))
+        annotator.fit(train)
+        result = annotator.evaluate(test)
+        assert 0.0 <= result.accuracy <= 100.0
+
+    def test_token_vocabulary_limited(self, tiny_splits):
+        train, _ = tiny_splits
+        annotator = SherlockAnnotator(SherlockConfig(epochs=1, vocabulary_size=50))
+        annotator.fit(train)
+        assert len(annotator._token_index) <= 50
+
+    def test_predict_before_fit_raises(self, tiny_splits):
+        _, test = tiny_splits
+        with pytest.raises(RuntimeError):
+            SherlockAnnotator().predict_corpus(test)

@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (the synthetic world, corpora, a trained tokenizer) are built
+once per session at a deliberately tiny scale so that the full suite stays
+fast while still exercising real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.semtab import SemTabConfig, SemTabGenerator
+from repro.data.viznet import VizNetConfig, VizNetGenerator
+from repro.data.corpus import stratified_split
+from repro.data.table import Column, Table
+from repro.kg.builder import KGWorldConfig, SyntheticKGBuilder
+from repro.kg.linker import EntityLinker, LinkerConfig
+from repro.text.tokenizer import WordPieceTokenizer
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A small synthetic knowledge-graph world shared by the whole session."""
+    return SyntheticKGBuilder(KGWorldConfig(seed=3).scaled(0.25)).build()
+
+
+@pytest.fixture(scope="session")
+def graph(world):
+    return world.graph
+
+
+@pytest.fixture(scope="session")
+def linker(graph):
+    """A shared entity linker (building the BM25 index once)."""
+    return EntityLinker(graph, LinkerConfig(max_candidates=8))
+
+
+@pytest.fixture(scope="session")
+def semtab_corpus(world):
+    """A tiny SemTab-style corpus."""
+    return SemTabGenerator(world, SemTabConfig(num_tables=30, seed=11)).generate()
+
+
+@pytest.fixture(scope="session")
+def viznet_corpus(world):
+    """A tiny VizNet-style corpus."""
+    return VizNetGenerator(world, VizNetConfig(num_tables=40, seed=12)).generate()
+
+
+@pytest.fixture(scope="session")
+def semtab_splits(semtab_corpus):
+    return stratified_split(semtab_corpus, seed=5)
+
+
+@pytest.fixture(scope="session")
+def tokenizer(world, semtab_corpus):
+    """A WordPiece tokenizer trained on KG texts plus corpus cells."""
+    texts = [entity.document_text() for entity in world.graph.entities()]
+    for table in semtab_corpus.tables[:10]:
+        for column in table.columns:
+            texts.append(" ".join(column.cells[:5]))
+    return WordPieceTokenizer.train(texts, vocab_size=1500)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def toy_table():
+    """A small hand-written table with a person column and a numeric column."""
+    return Table(
+        table_id="toy-0",
+        columns=[
+            Column(name="player", cells=["James Smith", "Mary Johnson", "John Brown"],
+                   label="Cricketer"),
+            Column(name="born", cells=["1888-11-24", "1874-02-27", "1863-02-10"],
+                   label="birthDate"),
+            Column(name="points", cells=["12", "873", "42"], label="points"),
+        ],
+    )

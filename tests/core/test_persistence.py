@@ -1,0 +1,65 @@
+"""Tests of saving and loading fitted KGLink annotators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
+from repro.core.persistence import load_annotator, save_annotator
+from repro.data.corpus import TableCorpus
+
+
+TINY_CONFIG = KGLinkConfig(
+    epochs=1, batch_size=4, learning_rate=1e-3, pretrain_steps=2,
+    hidden_size=32, num_layers=1, num_heads=2, intermediate_size=48,
+    top_k_rows=5, max_tokens_per_column=12, vocab_size=900,
+    max_position_embeddings=140, max_feature_tokens=8,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(graph, linker, semtab_splits):
+    train = TableCorpus("train", semtab_splits.train.tables[:10],
+                        semtab_splits.train.label_vocabulary)
+    annotator = KGLinkAnnotator(graph, TINY_CONFIG, linker=linker)
+    annotator.fit(train)
+    return annotator
+
+
+class TestSaveAnnotator:
+    def test_unfitted_annotator_rejected(self, graph, tmp_path):
+        annotator = KGLinkAnnotator(graph, TINY_CONFIG)
+        with pytest.raises(RuntimeError):
+            save_annotator(annotator, tmp_path / "model")
+
+    def test_save_writes_manifest_and_weights(self, fitted, tmp_path):
+        directory = save_annotator(fitted, tmp_path / "model")
+        assert (directory / "manifest.json").exists()
+        assert (directory / "model.npz").exists()
+
+
+class TestLoadAnnotator:
+    def test_roundtrip_predictions_identical(self, fitted, graph, linker, semtab_splits,
+                                             tmp_path):
+        directory = save_annotator(fitted, tmp_path / "model")
+        restored = load_annotator(directory, graph, linker=linker)
+        test = TableCorpus("test", semtab_splits.test.tables[:4],
+                           semtab_splits.train.label_vocabulary)
+        _, original_predictions = fitted.predict_corpus(test)
+        _, restored_predictions = restored.predict_corpus(test)
+        assert original_predictions == restored_predictions
+
+    def test_roundtrip_preserves_config_and_vocabulary(self, fitted, graph, tmp_path):
+        directory = save_annotator(fitted, tmp_path / "model")
+        restored = load_annotator(directory, graph)
+        assert restored.config == fitted.config
+        assert restored.label_vocabulary == fitted.label_vocabulary
+        assert restored.tokenizer.vocab_size == fitted.tokenizer.vocab_size
+
+    def test_unsupported_format_rejected(self, fitted, graph, tmp_path):
+        directory = save_annotator(fitted, tmp_path / "model")
+        manifest = directory / "manifest.json"
+        manifest.write_text(manifest.read_text().replace('"format_version": 1',
+                                                         '"format_version": 99'))
+        with pytest.raises(ValueError):
+            load_annotator(directory, graph)

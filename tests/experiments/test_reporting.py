@@ -1,0 +1,118 @@
+"""Tests of experiment result containers, rendering and profiles."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.config import PROFILES, ExperimentProfile, get_profile, load_resources
+from repro.experiments.references import TABLE1_REFERENCE, TABLE2_REFERENCE
+from repro.experiments.reporting import ExperimentResult, format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_header_and_rows_aligned(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1  # all lines same width
+
+    def test_floats_formatted_to_two_decimals(self):
+        text = format_table([{"value": 3.14159}])
+        assert "3.14" in text and "3.1416" not in text
+
+    def test_explicit_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            name="demo",
+            description="a demo experiment",
+            rows=[{"model": "KGLink", "accuracy": 90.0}],
+            paper_reference=[{"model": "KGLink", "accuracy": 87.12}],
+            notes="shape preserved",
+        )
+
+    def test_render_contains_all_sections(self):
+        text = self._result().render()
+        assert "demo" in text
+        assert "Measured" in text
+        assert "Paper-reported" in text
+        assert "shape preserved" in text
+
+    def test_to_json_roundtrip(self):
+        payload = json.loads(self._result().to_json())
+        assert payload["name"] == "demo"
+        assert payload["rows"][0]["accuracy"] == 90.0
+
+    def test_save_writes_file(self, tmp_path):
+        path = self._result().save(tmp_path)
+        assert path.exists()
+        assert json.loads(path.read_text())["description"] == "a demo experiment"
+
+    def test_render_without_reference(self):
+        result = ExperimentResult(name="x", description="y", rows=[{"a": 1}])
+        assert "Paper-reported" not in result.render()
+
+
+class TestProfiles:
+    def test_known_profiles_exist(self):
+        assert {"smoke", "default", "paper"} <= set(PROFILES)
+
+    def test_get_profile_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("gigantic")
+
+    def test_paper_profile_documents_original_settings(self):
+        paper = get_profile("paper")
+        assert paper.epochs == 50
+        assert paper.hidden_size == 768
+        assert paper.top_k_rows == 25
+
+    def test_paper_profile_not_materialisable(self):
+        with pytest.raises(RuntimeError):
+            load_resources("paper")
+
+    def test_kglink_config_overrides(self):
+        profile = get_profile("smoke")
+        config = profile.kglink_config(use_mask_task=False, top_k_rows=3)
+        assert config.use_mask_task is False
+        assert config.top_k_rows == 3
+        assert config.epochs == profile.epochs
+
+    def test_baseline_config_mirrors_profile(self):
+        profile = get_profile("smoke")
+        config = profile.baseline_config()
+        assert config.epochs == profile.epochs
+        assert config.max_rows == profile.top_k_rows
+
+    def test_part1_config_override(self):
+        profile = get_profile("smoke")
+        assert profile.part1_config(row_filter="original").row_filter == "original"
+
+
+class TestReferences:
+    def test_table1_reference_covers_all_models_and_datasets(self):
+        models = {row["model"] for row in TABLE1_REFERENCE}
+        datasets = {row["dataset"] for row in TABLE1_REFERENCE}
+        assert models == {"MTab", "TaBERT", "Doduo", "HNN", "Sudowoodo", "RECA", "KGLink"}
+        assert datasets == {"semtab", "viznet"}
+        assert len(TABLE1_REFERENCE) == 14
+
+    def test_table1_kglink_numbers_match_paper(self):
+        kglink_semtab = next(
+            row for row in TABLE1_REFERENCE
+            if row["model"] == "KGLink" and row["dataset"] == "semtab"
+        )
+        assert kglink_semtab["accuracy"] == pytest.approx(87.12)
+        assert kglink_semtab["weighted_f1"] == pytest.approx(85.78)
+
+    def test_table2_reference_has_five_variants(self):
+        assert len(TABLE2_REFERENCE) == 5

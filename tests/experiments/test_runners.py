@@ -1,0 +1,105 @@
+"""Tests of the experiment runner plumbing (model construction and caching).
+
+These tests build annotators without fitting them (fast) and run the cheap
+experiments (Table III) end to end against session fixtures; the full
+experiment suite is exercised by the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    DoduoAnnotator,
+    HNNAnnotator,
+    MTabAnnotator,
+    RECAAnnotator,
+    SherlockAnnotator,
+    SudowoodoAnnotator,
+    TaBERTAnnotator,
+)
+from repro.core.annotator import KGLinkAnnotator
+from repro.data.corpus import CorpusSplits, TableCorpus
+from repro.experiments.config import ExperimentProfile, SharedResources, get_profile
+from repro.experiments.runners import TABLE1_MODELS, build_annotator
+from repro.experiments import table3
+from repro.kg.linker import EntityLinker, LinkerConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_resources(world, semtab_corpus, viznet_corpus, semtab_splits):
+    from repro.data.corpus import stratified_split
+
+    return SharedResources(
+        profile=get_profile("smoke"),
+        world=world,
+        linker=EntityLinker(world.graph, LinkerConfig(max_candidates=5)),
+        semtab=semtab_corpus,
+        viznet=viznet_corpus,
+        semtab_splits=semtab_splits,
+        viznet_splits=stratified_split(viznet_corpus, seed=2),
+    )
+
+
+EXPECTED_TYPES = {
+    "MTab": MTabAnnotator,
+    "TaBERT": TaBERTAnnotator,
+    "Doduo": DoduoAnnotator,
+    "HNN": HNNAnnotator,
+    "Sudowoodo": SudowoodoAnnotator,
+    "RECA": RECAAnnotator,
+    "KGLink": KGLinkAnnotator,
+    "Sherlock": SherlockAnnotator,
+}
+
+
+class TestBuildAnnotator:
+    @pytest.mark.parametrize("name", sorted(EXPECTED_TYPES))
+    def test_returns_expected_type(self, name, tiny_resources):
+        annotator = build_annotator(name, tiny_resources, tiny_resources.profile)
+        assert isinstance(annotator, EXPECTED_TYPES[name])
+
+    def test_unknown_name_raises(self, tiny_resources):
+        with pytest.raises(KeyError):
+            build_annotator("GPT", tiny_resources, tiny_resources.profile)
+
+    def test_kglink_overrides_applied(self, tiny_resources):
+        annotator = build_annotator("KGLink", tiny_resources, tiny_resources.profile,
+                                    use_mask_task=False)
+        assert annotator.config.use_mask_task is False
+
+    def test_overrides_rejected_for_baselines(self, tiny_resources):
+        with pytest.raises(ValueError):
+            build_annotator("Doduo", tiny_resources, tiny_resources.profile, use_mask_task=False)
+
+    def test_table1_models_cover_paper_rows(self):
+        assert TABLE1_MODELS == ("MTab", "TaBERT", "Doduo", "HNN", "Sudowoodo", "RECA", "KGLink")
+
+
+class TestSharedResources:
+    def test_splits_and_corpus_lookup(self, tiny_resources):
+        assert tiny_resources.corpus("semtab").name == "semtab"
+        assert isinstance(tiny_resources.splits("viznet"), CorpusSplits)
+
+    def test_unknown_dataset_raises(self, tiny_resources):
+        with pytest.raises(KeyError):
+            tiny_resources.corpus("webtables")
+        with pytest.raises(KeyError):
+            tiny_resources.splits("webtables")
+
+
+class TestTable3Runner:
+    def test_rows_and_shape_properties(self, tiny_resources):
+        result = table3.run(tiny_resources, tiny_resources.profile)
+        assert {row["dataset"] for row in result.rows} == {"semtab", "viznet"}
+        semtab_row = next(row for row in result.rows if row["dataset"] == "semtab")
+        viznet_row = next(row for row in result.rows if row["dataset"] == "viznet")
+        # Structural properties the paper's Table III reports:
+        assert semtab_row["numeric_columns"] == 0
+        assert viznet_row["numeric_columns"] > 0
+        assert viznet_row["without_ct_pct"] >= semtab_row["without_ct_pct"]
+        assert result.paper_reference
+
+    def test_results_cached_in_resources(self, tiny_resources):
+        table3.run(tiny_resources, tiny_resources.profile)
+        assert ("table3", "semtab") in tiny_resources.cache

@@ -1,0 +1,82 @@
+"""Tests of the measured-vs-paper shape comparison utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.references import TABLE1_REFERENCE
+from repro.experiments.shape import ordering_report, pairwise_order_agreement
+
+
+def rows(values: dict[str, float], dataset: str | None = None) -> list[dict]:
+    out = []
+    for model, accuracy in values.items():
+        row = {"model": model, "accuracy": accuracy}
+        if dataset is not None:
+            row["dataset"] = dataset
+        out.append(row)
+    return out
+
+
+class TestPairwiseOrderAgreement:
+    def test_identical_ordering_scores_one(self):
+        reference = rows({"A": 90.0, "B": 80.0, "C": 70.0})
+        measured = rows({"A": 55.0, "B": 44.0, "C": 33.0})
+        result = pairwise_order_agreement(measured, reference)
+        assert result.score == pytest.approx(1.0)
+        assert result.disagreeing_pairs == []
+
+    def test_fully_reversed_ordering_scores_zero(self):
+        reference = rows({"A": 90.0, "B": 80.0, "C": 70.0})
+        measured = rows({"A": 10.0, "B": 20.0, "C": 30.0})
+        result = pairwise_order_agreement(measured, reference)
+        assert result.score == pytest.approx(0.0)
+        assert len(result.disagreeing_pairs) == 3
+
+    def test_partial_disagreement_names_the_pair(self):
+        reference = rows({"A": 90.0, "B": 80.0, "C": 70.0})
+        measured = rows({"A": 90.0, "B": 60.0, "C": 70.0})
+        result = pairwise_order_agreement(measured, reference)
+        assert result.disagreeing_pairs == [("B", "C")]
+        assert result.score == pytest.approx(2 / 3)
+
+    def test_near_ties_count_as_agreement(self):
+        reference = rows({"A": 90.0, "B": 89.8})
+        measured = rows({"A": 70.0, "B": 75.0})
+        assert pairwise_order_agreement(measured, reference).score == pytest.approx(1.0)
+
+    def test_items_missing_from_one_side_are_ignored(self):
+        reference = rows({"A": 90.0, "B": 80.0, "D": 75.0})
+        measured = rows({"A": 50.0, "B": 40.0, "C": 30.0})
+        result = pairwise_order_agreement(measured, reference)
+        assert result.comparisons == 1
+
+    def test_non_numeric_reference_values_ignored(self):
+        reference = [{"model": "MTab", "accuracy": None}, {"model": "A", "accuracy": 90.0},
+                     {"model": "B", "accuracy": 80.0}]
+        measured = rows({"MTab": 50.0, "A": 60.0, "B": 40.0})
+        result = pairwise_order_agreement(measured, reference)
+        assert result.comparisons == 1
+
+    def test_empty_inputs_score_one(self):
+        assert pairwise_order_agreement([], []).score == pytest.approx(1.0)
+
+
+class TestOrderingReport:
+    def test_per_group_scores(self):
+        reference = rows({"A": 90.0, "B": 80.0}, "semtab") + rows({"A": 70.0, "B": 85.0}, "viznet")
+        measured = rows({"A": 60.0, "B": 50.0}, "semtab") + rows({"A": 66.0, "B": 55.0}, "viznet")
+        report = ordering_report(measured, reference)
+        assert report["semtab"].score == pytest.approx(1.0)
+        assert report["viznet"].score == pytest.approx(0.0)
+
+    def test_against_paper_reference_structure(self):
+        # Using the paper's own numbers as "measured" must give perfect agreement.
+        report = ordering_report(TABLE1_REFERENCE, TABLE1_REFERENCE)
+        assert set(report) == {"semtab", "viznet"}
+        assert all(group.score == pytest.approx(1.0) for group in report.values())
+
+    def test_groups_missing_on_one_side_skipped(self):
+        reference = rows({"A": 90.0, "B": 80.0}, "semtab")
+        measured = rows({"A": 60.0, "B": 50.0}, "viznet")
+        assert ordering_report(measured, reference) == {}

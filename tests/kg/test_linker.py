@@ -1,0 +1,112 @@
+"""Tests of the cell-mention entity linker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg.graph import KnowledgeGraph, Predicates
+from repro.kg.linker import EntityLinker, LinkerConfig
+from repro.text.ner import EntitySchema
+
+
+@pytest.fixture()
+def small_graph():
+    graph = KnowledgeGraph()
+    graph.create_entity("Q1", "Peter Steele", description="a musician",
+                        schema=EntitySchema.PERSON)
+    graph.create_entity("Q2", "Peter Johnson", description="a cricketer",
+                        schema=EntitySchema.PERSON)
+    graph.create_entity("Q3", "Riverton Tigers", description="a basketball team")
+    graph.create_entity("Q4", "Musician", is_type=True)
+    graph.add_triple("Q1", Predicates.OCCUPATION, "Q4")
+    return graph
+
+
+@pytest.fixture()
+def small_linker(small_graph):
+    return EntityLinker(small_graph, LinkerConfig(max_candidates=5))
+
+
+class TestLinkerConfig:
+    def test_rejects_non_positive_candidates(self):
+        with pytest.raises(ValueError):
+            LinkerConfig(max_candidates=0)
+
+
+class TestLinking:
+    def test_exact_mention_links_to_entity(self, small_linker):
+        links = small_linker.link("Peter Steele")
+        assert links and links[0].entity_id == "Q1"
+
+    def test_ambiguous_mention_returns_multiple(self, small_linker):
+        links = small_linker.link("Peter")
+        assert {link.entity_id for link in links} >= {"Q1", "Q2"}
+
+    def test_numbers_never_linked(self, small_linker):
+        assert small_linker.link("1234") == []
+
+    def test_dates_never_linked(self, small_linker):
+        assert small_linker.link("1888-11-24") == []
+
+    def test_numbers_linked_when_configured(self, small_graph):
+        linker = EntityLinker(small_graph, LinkerConfig(link_numbers_and_dates=True))
+        # Still no hits (no numeric entity labels), but the schema filter is off
+        # so the call goes through the index rather than short-circuiting.
+        assert linker.link("1888-11-24") == []
+
+    def test_empty_and_none_mentions(self, small_linker):
+        assert small_linker.link("") == []
+        assert small_linker.link(None) == []
+        assert small_linker.link("   ") == []
+
+    def test_unknown_mention_returns_empty(self, small_linker):
+        assert small_linker.link("zzzz qqqq") == []
+
+    def test_max_candidates_respected(self, small_graph):
+        linker = EntityLinker(small_graph, LinkerConfig(max_candidates=1))
+        assert len(linker.link("Peter")) == 1
+
+    def test_scores_sorted_descending(self, small_linker):
+        links = small_linker.link("Peter Steele musician")
+        scores = [link.score for link in links]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestScores:
+    def test_best_link_is_first(self, small_linker):
+        best = small_linker.best_link("Riverton Tigers")
+        assert best is not None and best.entity_id == "Q3"
+
+    def test_best_link_none_for_numbers(self, small_linker):
+        assert small_linker.best_link("42") is None
+
+    def test_linking_score_zero_without_links(self, small_linker):
+        assert small_linker.linking_score("42") == 0.0
+
+    def test_linking_score_positive_for_match(self, small_linker):
+        assert small_linker.linking_score("Peter Steele") > 0.0
+
+    def test_cache_reused_for_repeated_mentions(self, small_linker):
+        small_linker.link("Peter Steele")
+        before = small_linker.cache_info().hits
+        small_linker.link("Peter Steele")
+        assert small_linker.cache_info().hits == before + 1
+
+
+class TestAgainstSyntheticWorld:
+    def test_person_labels_link_to_themselves(self, world, linker):
+        # Take a handful of person entities and check self-retrieval quality.
+        people = world.instances("Human")[:20]
+        hits = 0
+        for entity_id in people:
+            label = world.graph.entity(entity_id).label
+            best = linker.best_link(label)
+            if best is not None and best.entity_id == entity_id:
+                hits += 1
+        assert hits >= len(people) * 0.7
+
+    def test_abbreviated_alias_still_retrieves_candidates(self, world, linker):
+        entity_id = world.instances("Human")[0]
+        alias = world.graph.entity(entity_id).aliases[0]
+        links = linker.link(alias)
+        assert links  # the surname should at least produce candidates

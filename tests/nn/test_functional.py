@@ -1,0 +1,229 @@
+"""Tests of the fused functional operations (values and gradients)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+from tests.nn.test_tensor import numerical_gradient
+
+
+def _numeric(build_loss, base, atol=1e-5):
+    tensor = Tensor(base.copy(), requires_grad=True)
+    build_loss(tensor).backward()
+    numeric = numerical_gradient(lambda a: float(build_loss(Tensor(a)).data), base.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(4, 7))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_invariant_to_constant_shift(self, rng):
+        logits = rng.normal(size=(3, 5))
+        a = F.softmax(Tensor(logits)).data
+        b = F.softmax(Tensor(logits + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_handles_large_values(self):
+        out = F.softmax(Tensor([[1000.0, 0.0]]))
+        assert np.isfinite(out.data).all()
+
+    def test_gradient(self, rng):
+        weights = rng.normal(size=(3, 4))
+        _numeric(lambda t: (F.softmax(t) * Tensor(weights)).sum(), rng.normal(size=(3, 4)))
+
+    def test_axis_argument(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(2, 3, 4))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones((2, 4)), atol=1e-12)
+
+
+class TestLogSoftmax:
+    def test_matches_log_of_softmax(self, rng):
+        logits = rng.normal(size=(5, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(logits)).data,
+            np.log(F.softmax(Tensor(logits)).data),
+            atol=1e-12,
+        )
+
+    def test_gradient(self, rng):
+        weights = rng.normal(size=(2, 5))
+        _numeric(lambda t: (F.log_softmax(t) * Tensor(weights)).sum(), rng.normal(size=(2, 5)))
+
+
+class TestGelu:
+    def test_zero_at_zero(self):
+        assert F.gelu(Tensor([0.0])).item() == pytest.approx(0.0)
+
+    def test_approaches_identity_for_large_positive(self):
+        assert F.gelu(Tensor([10.0])).item() == pytest.approx(10.0, rel=1e-4)
+
+    def test_approaches_zero_for_large_negative(self):
+        assert F.gelu(Tensor([-10.0])).item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_gradient(self, rng):
+        _numeric(lambda t: F.gelu(t).sum(), rng.normal(size=(4, 3)))
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, p=0.5, training=False, rng=rng)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_identity_with_zero_probability(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, p=0.0, training=True, rng=rng)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, p=0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zeroes_fraction(self):
+        rng = np.random.default_rng(0)
+        out = F.dropout(Tensor(np.ones((100, 100))), p=0.4, training=True, rng=rng)
+        zero_fraction = float((out.data == 0).mean())
+        assert zero_fraction == pytest.approx(0.4, abs=0.03)
+
+    def test_gradient_respects_mask(self):
+        rng = np.random.default_rng(1)
+        x = Tensor(np.ones((5, 5)), requires_grad=True)
+        out = F.dropout(x, p=0.5, training=True, rng=rng)
+        out.sum().backward()
+        # Gradient must be zero exactly where the output was dropped.
+        assert np.all((x.grad == 0) == (out.data == 0))
+
+
+class TestLayerNorm:
+    def test_output_normalised(self, rng):
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(4, 8)))
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-3)
+
+    def test_scale_and_shift_applied(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)))
+        out = F.layer_norm(x, Tensor(np.full(4, 2.0)), Tensor(np.full(4, 1.0)))
+        base = F.layer_norm(x, Tensor(np.ones(4)), Tensor(np.zeros(4)))
+        np.testing.assert_allclose(out.data, base.data * 2.0 + 1.0, atol=1e-9)
+
+    def test_gradient_wrt_input(self, rng):
+        weight = Tensor(rng.normal(size=6) + 1.0)
+        bias = Tensor(rng.normal(size=6))
+        _numeric(lambda t: (F.layer_norm(t, weight, bias) ** 2).sum(),
+                 rng.normal(size=(3, 6)), atol=1e-4)
+
+    def test_gradient_wrt_weight_and_bias(self, rng):
+        x = rng.normal(size=(3, 5))
+        weight = Tensor(np.ones(5), requires_grad=True)
+        bias = Tensor(np.zeros(5), requires_grad=True)
+        (F.layer_norm(Tensor(x), weight, bias) ** 2).sum().backward()
+        assert weight.grad is not None and weight.grad.shape == (5,)
+        assert bias.grad is not None and bias.grad.shape == (5,)
+
+
+class TestEmbeddingLookup:
+    def test_gathers_rows(self, rng):
+        weight = Tensor(rng.normal(size=(10, 4)))
+        indices = np.array([[1, 2], [3, 1]])
+        out = F.embedding_lookup(weight, indices)
+        np.testing.assert_allclose(out.data, weight.data[indices])
+
+    def test_gradient_accumulates_duplicates(self):
+        weight = Tensor(np.zeros((5, 3)), requires_grad=True)
+        F.embedding_lookup(weight, np.array([1, 1, 2])).sum().backward()
+        np.testing.assert_allclose(weight.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(weight.grad[2], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(weight.grad[0], [0.0, 0.0, 0.0])
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert float(loss.data) < 1e-6
+
+    def test_uniform_prediction_log_classes(self):
+        logits = Tensor(np.zeros((4, 8)))
+        loss = F.cross_entropy(logits, np.array([0, 1, 2, 3]))
+        assert float(loss.data) == pytest.approx(np.log(8), rel=1e-9)
+
+    def test_ignore_index_excluded(self):
+        logits = Tensor(np.array([[10.0, -10.0], [0.0, 0.0]]))
+        loss_with = F.cross_entropy(logits, np.array([0, -100]))
+        assert float(loss_with.data) < 1e-6
+
+    def test_all_ignored_returns_zero_like_loss(self):
+        logits = Tensor(np.zeros((2, 3)))
+        loss = F.cross_entropy(logits, np.array([-100, -100]))
+        assert float(loss.data) == pytest.approx(0.0)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 3, 4))), np.zeros(2, dtype=int))
+
+    def test_gradient(self, rng):
+        targets = np.array([0, 2, 1])
+        _numeric(lambda t: F.cross_entropy(t, targets), rng.normal(size=(3, 4)))
+
+    def test_gradient_with_ignore_index(self, rng):
+        targets = np.array([0, -100, 1])
+        _numeric(lambda t: F.cross_entropy(t, targets), rng.normal(size=(3, 4)))
+
+    def test_class_weights_change_loss(self, rng):
+        logits = rng.normal(size=(4, 3))
+        targets = np.array([0, 1, 2, 0])
+        plain = F.cross_entropy(Tensor(logits), targets)
+        weighted = F.cross_entropy(Tensor(logits), targets,
+                                   class_weights=np.array([10.0, 1.0, 1.0]))
+        assert float(plain.data) != pytest.approx(float(weighted.data))
+
+
+class TestSoftTargetLoss:
+    def test_zero_when_student_matches_onehot_teacher(self):
+        student = Tensor(np.array([[100.0, 0.0, 0.0]]))
+        teacher = np.array([[1.0, 0.0, 0.0]])
+        loss = F.kl_div_with_soft_targets(student, teacher)
+        assert float(loss.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            F.kl_div_with_soft_targets(Tensor(np.zeros((2, 3))), np.zeros((2, 4)))
+
+    def test_gradient(self, rng):
+        teacher_logits = rng.normal(size=(3, 5))
+        teacher = np.exp(teacher_logits) / np.exp(teacher_logits).sum(-1, keepdims=True)
+        _numeric(lambda t: F.kl_div_with_soft_targets(t, teacher, temperature=2.0),
+                 rng.normal(size=(3, 5)))
+
+    def test_temperature_scales_gradient(self, rng):
+        logits = rng.normal(size=(2, 4))
+        teacher = np.full((2, 4), 0.25)
+        grads = []
+        for temperature in (1.0, 4.0):
+            student = Tensor(logits.copy(), requires_grad=True)
+            F.kl_div_with_soft_targets(student, teacher, temperature=temperature).backward()
+            grads.append(np.abs(student.grad).sum())
+        assert grads[0] > grads[1]
+
+
+class TestMaskedFill:
+    def test_replaces_masked_positions(self):
+        x = Tensor(np.zeros((2, 2)))
+        mask = np.array([[True, False], [False, True]])
+        out = F.masked_fill(x, mask, -1e9)
+        assert out.data[0, 0] == -1e9 and out.data[0, 1] == 0.0
+
+    def test_gradient_blocked_at_masked_positions(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, False]])
+        F.masked_fill(x, mask, -5.0).sum().backward()
+        assert x.grad[0, 0] == 0.0 and x.grad[0, 1] == 1.0

@@ -1,0 +1,116 @@
+"""Tests of the loss modules used by the multi-task objective."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss, DMLMLoss, FixedWeightLoss, UncertaintyWeightedLoss
+from repro.nn.tensor import Tensor
+
+
+class TestCrossEntropyLoss:
+    def test_matches_manual_value(self):
+        logits = Tensor(np.log(np.array([[0.7, 0.2, 0.1], [0.1, 0.8, 0.1]])))
+        loss = CrossEntropyLoss()(logits, np.array([0, 1]))
+        expected = -(np.log(0.7) + np.log(0.8)) / 2
+        assert float(loss.data) == pytest.approx(expected, rel=1e-9)
+
+    def test_ignore_index_configurable(self):
+        logits = Tensor(np.array([[5.0, -5.0], [0.0, 0.0]]))
+        loss = CrossEntropyLoss(ignore_index=-1)(logits, np.array([0, -1]))
+        assert float(loss.data) < 1e-4
+
+    def test_class_weights_accepted(self):
+        loss = CrossEntropyLoss(class_weights=np.array([1.0, 2.0]))
+        value = loss(Tensor(np.zeros((2, 2))), np.array([0, 1]))
+        assert np.isfinite(float(value.data))
+
+
+class TestDMLMLoss:
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            DMLMLoss(temperature=0.0)
+
+    def test_teacher_distribution_sums_to_one(self, rng):
+        loss = DMLMLoss(temperature=2.0)
+        probs = loss.teacher_distribution(rng.normal(size=(4, 9)))
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_temperature_softens_distribution(self, rng):
+        logits = rng.normal(size=(1, 6)) * 5
+        sharp = DMLMLoss(temperature=1.0).teacher_distribution(logits)
+        soft = DMLMLoss(temperature=5.0).teacher_distribution(logits)
+        assert soft.max() < sharp.max()
+
+    def test_loss_zero_when_student_equals_sharp_teacher(self):
+        loss = DMLMLoss(temperature=1.0)
+        teacher_logits = np.array([[50.0, 0.0, 0.0]])
+        student = Tensor(teacher_logits.copy())
+        value = loss(student, teacher_logits)
+        assert float(value.data) == pytest.approx(0.0, abs=1e-4)
+
+    def test_loss_decreases_as_student_approaches_teacher(self, rng):
+        loss = DMLMLoss(temperature=2.0)
+        teacher_logits = rng.normal(size=(2, 5)) * 3
+        far = loss(Tensor(-teacher_logits), teacher_logits)
+        near = loss(Tensor(teacher_logits * 0.9), teacher_logits)
+        assert float(near.data) < float(far.data)
+
+    def test_gradients_flow_only_into_student(self):
+        loss = DMLMLoss()
+        student = Tensor(np.zeros((1, 4)), requires_grad=True)
+        loss(student, np.array([[1.0, 2.0, 3.0, 4.0]])).backward()
+        assert student.grad is not None
+
+
+class TestUncertaintyWeightedLoss:
+    def test_initial_sigma_values(self):
+        loss = UncertaintyWeightedLoss(0.5, -0.5)
+        assert loss.sigma_values == (0.5, -0.5)
+
+    def test_combination_matches_formula(self):
+        loss_module = UncertaintyWeightedLoss(0.0, 0.0)
+        dmlm = Tensor(np.array(2.0))
+        ce = Tensor(np.array(4.0))
+        total = loss_module(dmlm, ce)
+        # With log sigma^2 = 0: 0.5*2 + 0.5*4 + 0 = 3
+        assert float(total.data) == pytest.approx(3.0)
+
+    def test_sigma_parameters_receive_gradients(self):
+        loss_module = UncertaintyWeightedLoss()
+        total = loss_module(Tensor(np.array(1.0)), Tensor(np.array(1.0)))
+        total.backward()
+        assert loss_module.log_sigma0_sq.grad is not None
+        assert loss_module.log_sigma1_sq.grad is not None
+
+    def test_sigma_adapts_to_noisy_task(self):
+        """The uncertainty of a consistently larger loss should grow."""
+        loss_module = UncertaintyWeightedLoss()
+        from repro.nn.optim import SGD
+
+        optimizer = SGD(loss_module.parameters(), lr=0.05)
+        for _ in range(100):
+            total = loss_module(Tensor(np.array(10.0)), Tensor(np.array(0.1)))
+            optimizer.zero_grad()
+            total.backward()
+            optimizer.step()
+        sigma0, sigma1 = loss_module.sigma_values
+        assert sigma0 > sigma1  # the noisy (large) DMLM task gets down-weighted
+
+    def test_parameters_are_registered(self):
+        assert len(UncertaintyWeightedLoss().parameters()) == 2
+
+
+class TestFixedWeightLoss:
+    def test_weights_follow_log_sigma(self):
+        loss_module = FixedWeightLoss(log_sigma0_sq=0.0, log_sigma1_sq=np.log(4.0))
+        total = loss_module(Tensor(np.array(2.0)), Tensor(np.array(8.0)))
+        # 0.5*2 + (0.5/4)*8 = 1 + 1 = 2
+        assert float(total.data) == pytest.approx(2.0)
+
+    def test_has_no_trainable_parameters(self):
+        assert FixedWeightLoss(0.0, 0.0).parameters() == []
+
+    def test_sigma_values_reported(self):
+        assert FixedWeightLoss(0.4, 1.4).sigma_values == (0.4, 1.4)

@@ -1,0 +1,154 @@
+"""Tests of optimisers, schedules and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.layers import Parameter
+from repro.nn.optim import AdamW, ConstantSchedule, LinearDecaySchedule, SGD, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_step(optimizer, parameter):
+    """One optimisation step of f(w) = ||w||^2 / 2."""
+    optimizer.zero_grad()
+    (parameter * parameter).sum().backward()
+    # gradient of 1/2 ||w||^2 would be w; here it's 2w, fine for convergence tests
+    optimizer.step()
+
+
+class TestSGD:
+    def test_reduces_quadratic_objective(self):
+        parameter = Parameter(np.array([5.0, -3.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        initial = float((parameter.data ** 2).sum())
+        for _ in range(50):
+            _quadratic_step(optimizer, parameter)
+        assert float((parameter.data ** 2).sum()) < initial * 1e-3
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.array([5.0]))
+        momentum = Parameter(np.array([5.0]))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            _quadratic_step(opt_plain, plain)
+            _quadratic_step(opt_momentum, momentum)
+        assert abs(momentum.data[0]) < abs(plain.data[0])
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no gradient accumulated yet
+        np.testing.assert_allclose(parameter.data, [1.0])
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdamW:
+    def test_reduces_quadratic_objective(self):
+        parameter = Parameter(np.array([4.0, -2.0, 1.0]))
+        optimizer = AdamW([parameter], lr=0.1, weight_decay=0.0)
+        for _ in range(200):
+            _quadratic_step(optimizer, parameter)
+        assert np.abs(parameter.data).max() < 1e-2
+
+    def test_weight_decay_shrinks_weights_without_gradient_signal(self):
+        parameter = Parameter(np.array([10.0]))
+        optimizer = AdamW([parameter], lr=0.01, weight_decay=0.1)
+        for _ in range(10):
+            optimizer.zero_grad()
+            (parameter * 0.0).sum().backward()
+            optimizer.step()
+        assert abs(parameter.data[0]) < 10.0
+
+    def test_trains_small_network_to_fit_xor(self):
+        rng = np.random.default_rng(0)
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        y = np.array([0, 1, 1, 0])
+        model = nn.Sequential(nn.Linear(2, 16, rng=rng), nn.Linear(16, 2, rng=rng))
+
+        class WithRelu(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.first = nn.Linear(2, 16, rng=rng)
+                self.second = nn.Linear(16, 2, rng=rng)
+
+            def forward(self, inputs):
+                return self.second(self.first(inputs).relu())
+
+        model = WithRelu()
+        optimizer = AdamW(model.parameters(), lr=0.05, weight_decay=0.0)
+        from repro.nn import functional as F
+
+        for _ in range(300):
+            logits = model(Tensor(x))
+            loss = F.cross_entropy(logits, y)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        predictions = np.argmax(model(Tensor(x)).data, axis=-1)
+        np.testing.assert_array_equal(predictions, y)
+
+    def test_step_counter_increments(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = AdamW([parameter], lr=0.1)
+        _quadratic_step(optimizer, parameter)
+        _quadratic_step(optimizer, parameter)
+        assert optimizer._step == 2
+
+
+class TestSchedules:
+    def test_linear_decay_reaches_zero(self):
+        parameter = Parameter(np.array([1.0]))
+        optimizer = SGD([parameter], lr=1.0)
+        schedule = LinearDecaySchedule(optimizer, total_steps=10)
+        for _ in range(10):
+            schedule.step()
+        assert optimizer.lr == pytest.approx(0.0)
+
+    def test_linear_decay_monotonic(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        schedule = LinearDecaySchedule(optimizer, total_steps=5)
+        rates = [schedule.step() for _ in range(5)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_linear_decay_clamps_after_total_steps(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        schedule = LinearDecaySchedule(optimizer, total_steps=3, min_lr=0.1)
+        for _ in range(10):
+            schedule.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_linear_decay_rejects_bad_total_steps(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearDecaySchedule(optimizer, total_steps=0)
+
+    def test_constant_schedule_keeps_rate(self):
+        optimizer = SGD([Parameter(np.array([1.0]))], lr=0.5)
+        schedule = ConstantSchedule(optimizer)
+        schedule.step()
+        assert optimizer.lr == pytest.approx(0.5)
+
+
+class TestClipGradNorm:
+    def test_returns_zero_with_no_gradients(self):
+        assert clip_grad_norm([Parameter(np.ones(3))], 1.0) == 0.0
+
+    def test_norm_reported_and_clipped(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 3.0)
+        norm = clip_grad_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(6.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clipping_below_threshold(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.grad = np.array([0.3, 0.4])
+        clip_grad_norm([parameter], max_norm=10.0)
+        np.testing.assert_allclose(parameter.grad, [0.3, 0.4])

@@ -1,0 +1,52 @@
+"""Tests of model weight serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.serialization import load_module, load_state_dict, save_module, save_state_dict
+
+
+class TestStateDictFiles:
+    def test_roundtrip_preserves_arrays(self, tmp_path):
+        state = {"a.weight": np.arange(6.0).reshape(2, 3), "b.bias": np.zeros(4)}
+        path = save_state_dict(state, tmp_path / "model.npz")
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        np.testing.assert_allclose(loaded["a.weight"], state["a.weight"])
+
+    def test_extension_added_when_missing(self, tmp_path):
+        path = save_state_dict({"x": np.ones(2)}, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_load_without_extension(self, tmp_path):
+        save_state_dict({"x": np.ones(3)}, tmp_path / "weights")
+        loaded = load_state_dict(tmp_path / "weights")
+        np.testing.assert_allclose(loaded["x"], np.ones(3))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_state_dict({"x": np.ones(1)}, tmp_path / "deep" / "dir" / "w.npz")
+        assert path.exists()
+
+
+class TestModuleSaveLoad:
+    def test_module_roundtrip(self, tmp_path):
+        source = nn.Linear(5, 3)
+        path = save_module(source, tmp_path / "linear.npz")
+        target = nn.Linear(5, 3, rng=np.random.default_rng(123))
+        load_module(target, path)
+        np.testing.assert_allclose(source.weight.data, target.weight.data)
+        np.testing.assert_allclose(source.bias.data, target.bias.data)
+
+    def test_nested_module_roundtrip(self, tmp_path):
+        source = nn.TransformerEncoderLayer(8, 2, 16)
+        path = save_module(source, tmp_path / "layer.npz")
+        target = nn.TransformerEncoderLayer(8, 2, 16, rng=np.random.default_rng(7))
+        load_module(target, path)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            source.named_parameters(), target.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_allclose(param_a.data, param_b.data)

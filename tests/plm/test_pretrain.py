@@ -1,0 +1,91 @@
+"""Tests of masked-language-model pre-training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.plm.config import PLMConfig
+from repro.plm.pretrain import MLMPretrainer, PretrainConfig, build_pretraining_texts
+
+
+@pytest.fixture(scope="module")
+def plm_config():
+    return PLMConfig(vocab_size=600, hidden_size=32, num_layers=1, num_heads=2,
+                     intermediate_size=48, max_position_embeddings=64, seed=2)
+
+
+class TestPretrainConfig:
+    def test_invalid_mask_probability(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(mask_probability=0.0)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            PretrainConfig(batch_size=0)
+
+
+class TestBuildPretrainingTexts:
+    def test_one_text_per_entity(self, world):
+        texts = build_pretraining_texts(world, max_entities=50)
+        assert len(texts) == 50
+
+    def test_texts_mention_labels_and_predicates(self, world):
+        texts = build_pretraining_texts(world, max_entities=200)
+        joined = " ".join(texts)
+        assert "instance of" in joined or "occupation" in joined
+
+    def test_all_entities_by_default(self, world):
+        texts = build_pretraining_texts(world)
+        assert len(texts) == len(world.graph)
+
+
+class TestMLMPretrainer:
+    def test_tokenizer_and_model_built(self, plm_config):
+        pretrainer = MLMPretrainer(plm_config, PretrainConfig(steps=0))
+        tokenizer, model, losses = pretrainer.pretrain(
+            ["the silver tigers basketball team plays in riverton"] * 10
+        )
+        assert tokenizer.vocab_size <= plm_config.vocab_size
+        assert model.config.vocab_size == tokenizer.vocab_size
+        assert losses == []
+
+    def test_loss_recorded_per_step(self, plm_config):
+        pretrainer = MLMPretrainer(plm_config, PretrainConfig(steps=5, batch_size=4,
+                                                              sequence_length=24, seed=1))
+        texts = [
+            "peter steele is a gothic metal musician from riverton",
+            "the crimson horizon is a drama film directed by maria lopez",
+            "university of stonefield is located in stonefield norway",
+            "wilfred blackburn played cricket for the riverton tigers",
+        ] * 5
+        _, _, losses = pretrainer.pretrain(texts)
+        assert len(losses) == 5
+        assert all(np.isfinite(loss) for loss in losses)
+
+    def test_pretraining_reduces_loss(self, plm_config):
+        pretrainer = MLMPretrainer(plm_config, PretrainConfig(steps=40, batch_size=8,
+                                                              sequence_length=24, seed=3,
+                                                              learning_rate=3e-3))
+        texts = [
+            "alpha beta gamma delta epsilon zeta",
+            "beta gamma delta epsilon zeta eta",
+            "gamma delta epsilon zeta eta theta",
+        ] * 10
+        _, _, losses = pretrainer.pretrain(texts)
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_external_tokenizer_reused(self, plm_config, tokenizer):
+        pretrainer = MLMPretrainer(plm_config, PretrainConfig(steps=1, batch_size=2,
+                                                              sequence_length=16))
+        returned_tokenizer, model, _ = pretrainer.pretrain(
+            ["peter steele gothic metal"] * 4, tokenizer=tokenizer
+        )
+        assert returned_tokenizer is tokenizer
+        assert model.config.vocab_size == tokenizer.vocab_size
+
+    def test_model_left_in_eval_mode(self, plm_config):
+        pretrainer = MLMPretrainer(plm_config, PretrainConfig(steps=2, batch_size=2,
+                                                              sequence_length=16))
+        _, model, _ = pretrainer.pretrain(["alpha beta gamma delta"] * 6)
+        assert model.training is False

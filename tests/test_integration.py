@@ -1,0 +1,115 @@
+"""End-to-end integration tests across all subsystems.
+
+These tests run the complete KGLink pipeline (KG construction → corpus
+generation → Part 1 → Part 2 training → evaluation) at a very small scale and
+assert the qualitative properties the paper's evaluation relies on, rather
+than exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import MTabAnnotator
+from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
+from repro.core.pipeline import KGCandidateExtractor, Part1Config
+from repro.data.corpus import TableCorpus
+
+
+SMALL_CONFIG = dict(
+    epochs=6, batch_size=4, learning_rate=1.5e-3, pretrain_steps=10,
+    hidden_size=48, num_layers=1, num_heads=2, intermediate_size=64,
+    top_k_rows=8, max_tokens_per_column=18, vocab_size=1500,
+    max_position_embeddings=200, max_feature_tokens=12,
+)
+
+
+@pytest.fixture(scope="module")
+def kglink(graph, linker, semtab_splits):
+    annotator = KGLinkAnnotator(graph, KGLinkConfig(**SMALL_CONFIG), linker=linker)
+    validation = semtab_splits.validation if len(semtab_splits.validation.tables) else None
+    annotator.fit(semtab_splits.train, validation)
+    return annotator
+
+
+class TestEndToEndKGLink:
+    def test_learns_well_above_majority_baseline(self, kglink, semtab_splits):
+        result = kglink.evaluate(semtab_splits.test)
+        counts = semtab_splits.test.label_counts()
+        majority = 100.0 * counts.most_common(1)[0][1] / sum(counts.values())
+        assert result.accuracy > majority + 10.0
+
+    def test_training_loss_decreased(self, kglink):
+        history = kglink.history
+        assert history is not None
+        first = sum(history.classification_losses[:3]) / 3
+        last = sum(history.classification_losses[-3:]) / 3
+        assert last < first
+
+    def test_sigma_values_were_adapted(self, kglink):
+        history = kglink.history
+        assert history.sigma0_trajectory[0] != history.sigma0_trajectory[-1] or \
+            history.sigma1_trajectory[0] != history.sigma1_trajectory[-1]
+
+    def test_candidate_types_usually_relevant(self, kglink, semtab_splits):
+        """Part 1 sanity: for KG-derived tables the ground-truth label often
+        appears among the extracted candidate types (the paper's motivation for
+        using them)."""
+        extractor = kglink.extractor
+        hit, total = 0, 0
+        for table in semtab_splits.test.tables[:10]:
+            processed = extractor.process_table(table)
+            for info in processed.columns:
+                if not info.candidate_types or info.label is None:
+                    continue
+                total += 1
+                if info.label.lower() in {ct.lower() for ct in info.candidate_types}:
+                    hit += 1
+        if total:
+            assert hit / total > 0.3
+
+    def test_annotating_unseen_table_gives_known_labels(self, kglink, viznet_corpus):
+        table = viznet_corpus.tables[0]
+        predictions = kglink.annotate(table)
+        assert all(label in kglink.label_vocabulary for label in predictions)
+
+
+class TestCrossMethodShapeChecks:
+    def test_mtab_beats_majority_on_semtab_but_not_kglink_on_viznet_style_labels(
+        self, graph, linker, semtab_splits, kglink
+    ):
+        mtab = MTabAnnotator(graph, Part1Config(top_k_rows=8), linker=linker)
+        mtab.fit(semtab_splits.train)
+        mtab_result = mtab.evaluate(semtab_splits.test)
+        kglink_result = kglink.evaluate(semtab_splits.test)
+        counts = semtab_splits.test.label_counts()
+        majority = 100.0 * counts.most_common(1)[0][1] / sum(counts.values())
+        assert mtab_result.accuracy > majority
+        # Both methods must be in a sensible range; exact ordering depends on scale.
+        assert kglink_result.accuracy > 50.0
+
+    def test_row_filter_consistency(self, graph, linker, semtab_splits):
+        """The linkage-based row filter keeps the rows with the highest scores."""
+        extractor = KGCandidateExtractor(graph, Part1Config(top_k_rows=3), linker=linker)
+        table = semtab_splits.test.tables[0]
+        processed = extractor.process_table(table)
+        kept_scores = [processed.row_scores[i] for i in processed.kept_row_indices]
+        dropped_scores = [
+            score for i, score in enumerate(processed.row_scores)
+            if i not in processed.kept_row_indices
+        ]
+        if dropped_scores and kept_scores:
+            assert min(kept_scores) >= max(dropped_scores) - 1e-9
+
+
+class TestGeneralisationAcrossCorpora:
+    def test_kglink_handles_numeric_columns(self, kglink, viznet_corpus):
+        """Even though the SemTab-style training corpus has no numeric columns,
+        annotating a numeric column must not crash and must return a label."""
+        numeric_tables = [
+            table for table in viznet_corpus.tables
+            if any(column.is_numeric() for column in table.columns)
+        ]
+        assert numeric_tables
+        predictions = kglink.annotate(numeric_tables[0])
+        assert len(predictions) >= 1

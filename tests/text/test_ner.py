@@ -1,0 +1,73 @@
+"""Tests of the rule-based named-entity schema detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.ner import (
+    EntitySchema,
+    detect_schema,
+    is_date_mention,
+    is_numeric_mention,
+    is_person_mention,
+)
+
+
+class TestNumericDetection:
+    @pytest.mark.parametrize("mention", ["42", "-17", "3.14", ".5", "1,234,567.89", "85 %", "73%"])
+    def test_numbers_detected(self, mention):
+        assert is_numeric_mention(mention)
+
+    @pytest.mark.parametrize("mention", ["42a", "abc", "", "  ", "12-13", "PF"])
+    def test_non_numbers_rejected(self, mention):
+        assert not is_numeric_mention(mention)
+
+
+class TestDateDetection:
+    @pytest.mark.parametrize("mention", [
+        "1888-11-24", "1934/5/2", "24.11.1888", "1987",
+        "12 March 1990", "Mar 4, 1988", "january 1 2001",
+    ])
+    def test_dates_detected(self, mention):
+        assert is_date_mention(mention)
+
+    @pytest.mark.parametrize("mention", ["tomorrow", "Peter Steele", "", "12345678"])
+    def test_non_dates_rejected(self, mention):
+        assert not is_date_mention(mention)
+
+
+class TestPersonDetection:
+    @pytest.mark.parametrize("mention", ["Peter Steele", "W. Blackburn", "Mary Johnson"])
+    def test_person_names_detected(self, mention):
+        assert is_person_mention(mention)
+
+    @pytest.mark.parametrize("mention", ["riverton tigers", "Rust", "UNIVERSITY OF STONEFIELD", ""])
+    def test_non_persons_rejected(self, mention):
+        assert not is_person_mention(mention)
+
+
+class TestDetectSchema:
+    def test_number(self):
+        assert detect_schema("12,345") == EntitySchema.NUMBER
+
+    def test_date_iso(self):
+        assert detect_schema("1888-11-24") == EntitySchema.DATE
+
+    def test_bare_year_is_number_or_date(self):
+        # A bare year is unlinkable either way; both categories are acceptable
+        # for the linker, but the function must be deterministic.
+        assert detect_schema("1987") in (EntitySchema.NUMBER, EntitySchema.DATE)
+        assert detect_schema("1987") == detect_schema("1987")
+
+    def test_person(self):
+        assert detect_schema("Peter Steele") == EntitySchema.PERSON
+
+    def test_other_for_team_name(self):
+        assert detect_schema("Riverton Tigers") == EntitySchema.OTHER
+
+    def test_empty_and_none_are_other(self):
+        assert detect_schema("") == EntitySchema.OTHER
+        assert detect_schema(None) == EntitySchema.OTHER
+
+    def test_numeric_with_surrounding_spaces(self):
+        assert detect_schema("  42  ") == EntitySchema.NUMBER

@@ -1,0 +1,93 @@
+"""Tests of the WordPiece-style tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.tokenizer import WordPieceTokenizer, basic_tokenize
+
+
+class TestBasicTokenize:
+    def test_lowercases(self):
+        assert basic_tokenize("Hello World") == ["hello", "world"]
+
+    def test_splits_punctuation(self):
+        assert basic_tokenize("a,b") == ["a", ",", "b"]
+
+    def test_keeps_numbers(self):
+        assert basic_tokenize("born 1888-11-24") == ["born", "1888", "-", "11", "-", "24"]
+
+    def test_empty_string(self):
+        assert basic_tokenize("") == []
+
+    def test_alphanumeric_kept_together(self):
+        assert basic_tokenize("tp53 protein") == ["tp53", "protein"]
+
+
+@pytest.fixture(scope="module")
+def small_tokenizer():
+    texts = [
+        "the silver tigers basketball team",
+        "peter steele gothic metal musician",
+        "cricketer wilfred blackburn played for riverton",
+        "the crimson horizon drama film directed by maria lopez",
+        "university of stonefield located in stonefield",
+    ] * 3
+    return WordPieceTokenizer.train(texts, vocab_size=400, min_frequency=1)
+
+
+class TestTraining:
+    def test_vocab_contains_frequent_words(self, small_tokenizer):
+        assert "musician" in small_tokenizer.vocabulary
+        assert "the" in small_tokenizer.vocabulary
+
+    def test_vocab_size_respected(self):
+        tokenizer = WordPieceTokenizer.train(["alpha beta gamma delta"] * 5, vocab_size=30)
+        assert tokenizer.vocab_size <= 30
+
+    def test_character_pieces_present(self, small_tokenizer):
+        # Single characters guarantee unseen words can still be segmented.
+        assert "s" in small_tokenizer.vocabulary
+
+
+class TestTokenize:
+    def test_known_word_single_piece(self, small_tokenizer):
+        assert small_tokenizer.tokenize("musician") == ["musician"]
+
+    def test_unseen_word_segmented_not_unk(self, small_tokenizer):
+        pieces = small_tokenizer.tokenize("silverton")
+        assert pieces
+        assert "[UNK]" not in pieces
+
+    def test_continuation_pieces_marked(self, small_tokenizer):
+        pieces = small_tokenizer.tokenize("tigersville")
+        assert len(pieces) >= 2
+        assert all(piece.startswith("##") for piece in pieces[1:])
+
+    def test_very_long_word_becomes_unk(self, small_tokenizer):
+        pieces = small_tokenizer.tokenize("x" * 100)
+        assert pieces == [small_tokenizer.vocabulary.specials.unk]
+
+    def test_empty_text(self, small_tokenizer):
+        assert small_tokenizer.tokenize("") == []
+
+
+class TestEncodeDecode:
+    def test_encode_truncates(self, small_tokenizer):
+        ids = small_tokenizer.encode("the silver tigers basketball team", max_length=3)
+        assert len(ids) == 3
+
+    def test_decode_merges_continuations(self, small_tokenizer):
+        ids = small_tokenizer.encode("gothic metal")
+        decoded = small_tokenizer.decode(ids)
+        assert "gothic" in decoded and "metal" in decoded
+
+    def test_decode_skips_special_tokens(self, small_tokenizer):
+        vocab = small_tokenizer.vocabulary
+        ids = [vocab.cls_id] + small_tokenizer.encode("musician") + [vocab.sep_id, vocab.pad_id]
+        assert small_tokenizer.decode(ids) == "musician"
+
+    def test_roundtrip_known_sentence(self, small_tokenizer):
+        text = "peter steele gothic metal musician"
+        decoded = small_tokenizer.decode(small_tokenizer.encode(text))
+        assert decoded == text
