@@ -13,6 +13,8 @@ import pytest
 
 from repro.core.model import KGLinkModel
 from repro.core.pipeline import KGCandidateExtractor, Part1Config
+from repro.kg.bm25 import BM25Index
+from repro.kg.linker import EntityLinker, LinkerConfig
 from repro.nn import functional as F
 from repro.nn.optim import AdamW
 from repro.plm.config import PLMConfig
@@ -24,6 +26,55 @@ def extractor(resources):
     return KGCandidateExtractor(
         resources.world.graph, Part1Config(top_k_rows=8), linker=resources.linker
     )
+
+
+def test_bm25_build_and_finalize(benchmark, resources):
+    documents = [
+        (entity.entity_id, entity.document_text())
+        for entity in resources.world.graph.entities()
+    ]
+
+    def run():
+        index = BM25Index.build(documents)
+        index.finalize()
+        return index
+
+    index = benchmark(run)
+    assert len(index) == len(documents)
+
+
+def test_bm25_search_batch(benchmark, resources):
+    index = resources.linker.index
+    queries = [entity.label for entity in list(resources.world.graph.entities())[:200]]
+    index.finalize()
+
+    hits = benchmark(lambda: index.search_batch(queries, top_k=10))
+    assert len(hits) == 200
+
+
+def test_linker_batch_throughput(benchmark, resources):
+    tables = resources.semtab.tables[:5]
+    mentions = [
+        table.cell(row, col)
+        for table in tables
+        for row in range(table.n_rows)
+        for col in range(table.n_columns)
+    ]
+    # Private linker sharing the session index; the cache is dropped inside
+    # the measured function so every round links cold instead of timing
+    # lru_cache hits on the shared fixture.
+    linker = EntityLinker(
+        resources.world.graph,
+        LinkerConfig(max_candidates=8),
+        index=resources.linker.index,
+    )
+
+    def run():
+        linker.cache_clear()
+        return linker.link_batch(mentions)
+
+    results = benchmark(run)
+    assert len(results) == len(mentions)
 
 
 def test_bm25_search(benchmark, resources):

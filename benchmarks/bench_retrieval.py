@@ -1,0 +1,185 @@
+"""Retrieval-engine benchmark: vectorized BM25 search and batched linking.
+
+Builds a synthetic corpus of ``--n-docs`` documents (default 12k, matching the
+scale at which the paper resorts to Elasticsearch), then times
+
+* index build + CSR compilation (``finalize``),
+* the vectorized ``BM25Index.search`` path,
+* the seed scalar path (candidate set from postings, one ``score()`` call per
+  candidate) as the baseline the speedup is measured against,
+* sequential ``EntityLinker.link`` vs ``EntityLinker.link_batch`` throughput
+  on a mention stream with realistic duplication.
+
+Results are written as JSON (``scripts/run_benchmarks.sh`` commits them to
+``BENCH_retrieval.json``) so the performance trajectory is tracked per PR.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_retrieval.py --output BENCH_retrieval.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.kg.bm25 import BM25Index, SearchHit, reference_search
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.linker import EntityLinker, LinkerConfig
+
+
+class _SeedSearchAdapter:
+    """Duck-typed index exposing the seed's scalar search to an EntityLinker."""
+
+    def __init__(self, index: BM25Index):
+        self._index = index
+
+    def search(self, query: str, top_k: int) -> list[SearchHit]:
+        return reference_search(self._index, query, top_k)
+
+
+def build_corpus(n_docs: int, vocab_size: int, seed: int) -> list[tuple[str, str]]:
+    """Synthetic entity documents with a Zipf-like term distribution."""
+    rng = np.random.default_rng(seed)
+    vocab = np.asarray([f"term{i:05d}" for i in range(vocab_size)])
+    # Zipf-ish ranks: low indices are frequent, the tail is rare.
+    ranks = np.minimum(rng.zipf(1.3, size=n_docs * 10) - 1, vocab_size - 1)
+    documents = []
+    cursor = 0
+    for i in range(n_docs):
+        length = int(rng.integers(4, 14))
+        words = vocab[ranks[cursor:cursor + length]]
+        cursor += length
+        documents.append((f"ent{i:06d}", " ".join(words)))
+    return documents
+
+
+def make_queries(documents: list[tuple[str, str]], n_queries: int, seed: int) -> list[str]:
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(documents), size=n_queries)
+    queries = []
+    for pick in picks:
+        words = documents[int(pick)][1].split()
+        n_words = min(len(words), int(rng.integers(1, 4)))
+        queries.append(" ".join(words[:n_words]))
+    return queries
+
+
+def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
+        top_k: int, seed: int) -> dict:
+    documents = build_corpus(n_docs, vocab_size, seed)
+
+    start = time.perf_counter()
+    index = BM25Index.build(documents)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index.finalize()
+    finalize_seconds = time.perf_counter() - start
+
+    queries = make_queries(documents, n_queries, seed + 1)
+
+    start = time.perf_counter()
+    vector_hits = index.search_batch(queries, top_k=top_k)
+    vector_seconds = time.perf_counter() - start
+
+    scalar_queries = queries[:n_scalar_queries]
+    start = time.perf_counter()
+    scalar_hits = [reference_search(index, q, top_k) for q in scalar_queries]
+    scalar_seconds = time.perf_counter() - start
+
+    # Sanity: both paths agree on the sampled prefix.
+    for vec, ref in zip(vector_hits, scalar_hits):
+        assert [h.doc_id for h in vec] == [h.doc_id for h in ref], "parity violation"
+
+    vector_per_query = vector_seconds / len(queries)
+    scalar_per_query = scalar_seconds / len(scalar_queries)
+
+    # Linker throughput on a mention stream with heavy duplication (the same
+    # entities recur across table cells).  Fresh linkers so caches are cold.
+    rng = np.random.default_rng(seed + 2)
+    unique_mentions = [documents[int(i)][1].rsplit(" ", 1)[0][:40]
+                       for i in rng.integers(0, len(documents), size=500)]
+    mentions = [unique_mentions[int(i)] for i in rng.integers(0, 500, size=4000)]
+    config = LinkerConfig(max_candidates=top_k)
+
+    sequential_linker = EntityLinker(KnowledgeGraph(), config=config, index=index)
+    start = time.perf_counter()
+    sequential = [sequential_linker.link(m) for m in mentions]
+    sequential_seconds = time.perf_counter() - start
+
+    batch_linker = EntityLinker(KnowledgeGraph(), config=config, index=index)
+    start = time.perf_counter()
+    batched = batch_linker.link_batch(mentions)
+    batch_seconds = time.perf_counter() - start
+    assert batched == sequential, "link_batch diverged from sequential link()"
+
+    # Seed baseline: the same linker flow but with the scalar search the seed
+    # shipped, on a smaller slice (it is ~40x slower per unique mention).
+    seed_mentions = mentions[:800]
+    seed_linker = EntityLinker(
+        KnowledgeGraph(), config=config, index=_SeedSearchAdapter(index)
+    )
+    start = time.perf_counter()
+    for mention in seed_mentions:
+        seed_linker.link(mention)
+    seed_seconds = time.perf_counter() - start
+    seed_rate = len(seed_mentions) / seed_seconds
+    batch_rate = len(mentions) / batch_seconds
+
+    return {
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "corpus": {
+            "n_docs": n_docs,
+            "vocab_size": vocab_size,
+            "n_queries": len(queries),
+            "n_scalar_queries": len(scalar_queries),
+            "top_k": top_k,
+            "seed": seed,
+        },
+        "bm25": {
+            "build_seconds": round(build_seconds, 4),
+            "finalize_seconds": round(finalize_seconds, 4),
+            "vector_search_ms_per_query": round(vector_per_query * 1e3, 4),
+            "scalar_search_ms_per_query": round(scalar_per_query * 1e3, 4),
+            "search_speedup": round(scalar_per_query / vector_per_query, 2),
+        },
+        "linker": {
+            "n_mentions": len(mentions),
+            "n_unique_mentions": len(set(mentions)),
+            "sequential_mentions_per_second": round(len(mentions) / sequential_seconds, 1),
+            "batch_mentions_per_second": round(batch_rate, 1),
+            "batch_vs_sequential_speedup": round(sequential_seconds / batch_seconds, 2),
+            "seed_engine_mentions_per_second": round(seed_rate, 1),
+            "engine_speedup": round(batch_rate / seed_rate, 2),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n-docs", type=int, default=12_000)
+    parser.add_argument("--vocab-size", type=int, default=2_000)
+    parser.add_argument("--n-queries", type=int, default=400)
+    parser.add_argument("--n-scalar-queries", type=int, default=60)
+    parser.add_argument("--top-k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=str, default=None,
+                        help="write results as JSON to this path")
+    args = parser.parse_args()
+
+    results = run(args.n_docs, args.vocab_size, args.n_queries,
+                  args.n_scalar_queries, args.top_k, args.seed)
+    payload = json.dumps(results, indent=2)
+    print(payload)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+
+
+if __name__ == "__main__":
+    main()

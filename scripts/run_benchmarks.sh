@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run the retrieval benchmark and record the numbers in BENCH_retrieval.json
+# at the repo root, so every PR leaves a performance data point behind.
+#
+# Usage: scripts/run_benchmarks.sh [extra bench_retrieval.py args...]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python benchmarks/bench_retrieval.py --output BENCH_retrieval.json "$@"
+
+echo
+echo "Wrote $REPO_ROOT/BENCH_retrieval.json"
+echo "For pytest-benchmark component timings, run:"
+echo "  PYTHONPATH=src python -m pytest benchmarks/bench_components.py -q"

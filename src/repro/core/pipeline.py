@@ -155,16 +155,32 @@ class KGCandidateExtractor:
     # step 1: linking
     # ------------------------------------------------------------------ #
     def link_table(self, table: Table) -> list[list[CellLinkage]]:
-        """Link every cell of ``table``; result is indexed ``[row][column]``."""
+        """Link every cell of ``table``; result is indexed ``[row][column]``.
+
+        All cell mentions are collected up front and resolved through one
+        deduplicated :meth:`~repro.kg.linker.EntityLinker.link_batch` call
+        (numbers and dates are filtered inside the batch), then fanned back
+        out to the row-major cell grid.
+        """
+        mentions = [
+            table.cell(row_index, col_index)
+            for row_index in range(table.n_rows)
+            for col_index in range(table.n_columns)
+        ]
+        schemas = [detect_schema(mention) for mention in mentions]
+        all_links = self.linker.link_batch(mentions, schemas=schemas)
+        n_cols = table.n_columns
         linked: list[list[CellLinkage]] = []
         for row_index in range(table.n_rows):
-            row: list[CellLinkage] = []
-            for col_index in range(table.n_columns):
-                mention = table.cell(row_index, col_index)
-                schema = detect_schema(mention)
-                links = self.linker.link(mention)
-                row.append(CellLinkage(mention=mention, schema=schema, raw_links=links))
-            linked.append(row)
+            base = row_index * n_cols
+            linked.append([
+                CellLinkage(
+                    mention=mentions[base + col_index],
+                    schema=schemas[base + col_index],
+                    raw_links=all_links[base + col_index],
+                )
+                for col_index in range(n_cols)
+            ])
         return linked
 
     # ------------------------------------------------------------------ #

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Sequence
 
 from repro.kg.bm25 import BM25Index, BM25Parameters
 from repro.kg.graph import KnowledgeGraph
@@ -67,8 +68,9 @@ class EntityLinker:
         hits = self.index.search(mention, top_k=self.config.max_candidates)
         return tuple(EntityLink(entity_id=hit.doc_id, score=hit.score) for hit in hits)
 
-    def link(self, mention: str) -> list[EntityLink]:
-        """Return candidate entity links for ``mention`` (possibly empty).
+    def _retrieval_key(self, mention: str, schema: EntitySchema | None = None
+                       ) -> str | None:
+        """Normalised cache key for ``mention``, or ``None`` when it must not link.
 
         Numbers and dates receive no links, following the paper: "For
         instances where the cell mention corresponds to a number or a date, it
@@ -76,15 +78,48 @@ class EntityLinker:
         a linking score of 0 to the cell."
         """
         if mention is None:
-            return []
-        mention = str(mention).strip()
-        if not mention:
-            return []
+            return None
+        text = str(mention).strip()
+        if not text:
+            return None
         if not self.config.link_numbers_and_dates:
-            schema = detect_schema(mention)
+            # A supplied schema is only reusable when it was detected on the
+            # exact text being linked (stripping can change the detection).
+            if schema is None or text != mention:
+                schema = detect_schema(text)
             if schema in (EntitySchema.NUMBER, EntitySchema.DATE):
-                return []
-        return list(self._cached_search(mention.lower()))
+                return None
+        return text.lower()
+
+    def link(self, mention: str) -> list[EntityLink]:
+        """Return candidate entity links for ``mention`` (possibly empty)."""
+        key = self._retrieval_key(mention)
+        if key is None:
+            return []
+        return list(self._cached_search(key))
+
+    def link_batch(self, mentions: Sequence[str],
+                   schemas: Sequence[EntitySchema] | None = None
+                   ) -> list[list[EntityLink]]:
+        """Link many mentions at once; results align with ``mentions``.
+
+        Mentions are normalised and deduplicated before touching the index,
+        so a table whose cells repeat the same entity pays for one retrieval.
+        ``schemas`` optionally supplies pre-detected schemas aligned with
+        ``mentions`` to avoid re-running the number/date detector.  The
+        per-mention results are identical to sequential :meth:`link` calls.
+        """
+        if schemas is not None and len(schemas) != len(mentions):
+            raise ValueError("schemas must align with mentions")
+        keys = [
+            self._retrieval_key(mention, schemas[i] if schemas is not None else None)
+            for i, mention in enumerate(mentions)
+        ]
+        fresh = [key for key in dict.fromkeys(keys) if key is not None]
+        # The lru_cache stays the cross-table layer: each distinct key is
+        # resolved through it exactly once per batch.
+        resolved = {key: self._cached_search(key) for key in fresh}
+        return [list(resolved[key]) if key is not None else [] for key in keys]
 
     def best_link(self, mention: str) -> EntityLink | None:
         """The single highest-scoring link for ``mention``, if any."""
@@ -99,3 +134,7 @@ class EntityLinker:
     def cache_info(self):
         """Expose retrieval cache statistics (useful in benchmarks)."""
         return self._cached_search.cache_info()
+
+    def cache_clear(self) -> None:
+        """Drop the memoised retrievals (cold-cache benchmarking)."""
+        self._cached_search.cache_clear()

@@ -17,7 +17,13 @@ provides exactly what the paper's deep-learning component needs:
 * :mod:`~repro.nn.serialization` — state-dict save/load helpers.
 """
 
-from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    get_default_dtype,
+    set_default_dtype,
+)
 from repro.nn import functional
 from repro.nn.layers import (
     Dropout,
@@ -43,6 +49,8 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
     "functional",
     "Module",
     "ModuleList",

@@ -4,6 +4,11 @@ Each function takes and returns :class:`~repro.nn.tensor.Tensor` objects and
 participates in the autograd graph.  Fused implementations (softmax, layer
 norm, cross entropy) are provided because composing them from primitives would
 be substantially slower and numerically less stable.
+
+When gradients are disabled (:func:`~repro.nn.tensor.no_grad`) or no input
+requires them, every function returns a plain tensor without creating a
+backward closure or recording parents, and all computations run in the dtype
+of their inputs (so a float32 model stays float32 end to end).
 """
 
 from __future__ import annotations
@@ -26,11 +31,23 @@ __all__ = [
     "masked_fill",
 ]
 
+# Python float so it stays a "weak" scalar and never promotes float32 arrays.
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def _needs_grad(parents) -> bool:
+    return is_grad_enabled() and any(p.requires_grad for p in parents)
+
 
 def _child(data: np.ndarray, parents, backward) -> Tensor:
-    """Build an output tensor wired into the autograd graph."""
-    out = Tensor(data)
-    if is_grad_enabled() and any(p.requires_grad for p in parents):
+    """Build an output tensor wired into the autograd graph.
+
+    Call sites check :func:`_needs_grad` first so no backward closure is even
+    created on the inference fast path; the re-check here keeps the wiring
+    correct should a future op forget the guard.
+    """
+    out = Tensor._result(data)
+    if _needs_grad(parents):
         out.requires_grad = True
         out._parents = tuple(parents)
         out._backward = backward
@@ -42,6 +59,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
     out_data = exp / exp.sum(axis=axis, keepdims=True)
+    if not _needs_grad((x,)):
+        return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
         dot = (grad * out_data).sum(axis=axis, keepdims=True)
@@ -55,6 +74,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out_data = shifted - log_norm
+    if not _needs_grad((x,)):
+        return Tensor._result(out_data)
     soft = np.exp(out_data)
 
     def backward(grad: np.ndarray) -> None:
@@ -65,14 +86,15 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation, as used by BERT)."""
-    c = np.sqrt(2.0 / np.pi)
-    inner = c * (x.data + 0.044715 * x.data**3)
+    inner = _GELU_C * (x.data + 0.044715 * x.data**3)
     tanh_inner = np.tanh(inner)
     out_data = 0.5 * x.data * (1.0 + tanh_inner)
+    if not _needs_grad((x,)):
+        return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
         sech2 = 1.0 - tanh_inner**2
-        d_inner = c * (1.0 + 3 * 0.044715 * x.data**2)
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x.data**2)
         local = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
         x._accumulate(grad * local)
 
@@ -94,8 +116,10 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
     if not training or p <= 0.0:
         return x
     keep = 1.0 - p
-    mask = (rng.random(x.data.shape) < keep).astype(np.float64) / keep
+    mask = (rng.random(x.data.shape) < keep).astype(x.data.dtype) / keep
     out_data = x.data * mask
+    if not _needs_grad((x,)):
+        return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad * mask)
@@ -110,9 +134,10 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     inv_std = 1.0 / np.sqrt(var + eps)
     normalised = (x.data - mean) * inv_std
     out_data = normalised * weight.data + bias.data
+    if not _needs_grad((x, weight, bias)):
+        return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
-        d = x.data.shape[-1]
         if weight.requires_grad:
             axes = tuple(range(grad.ndim - 1))
             weight._accumulate((grad * normalised).sum(axis=axes))
@@ -124,8 +149,6 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
             mean_g = g.mean(axis=-1, keepdims=True)
             mean_gx = (g * normalised).mean(axis=-1, keepdims=True)
             x._accumulate(inv_std * (g - mean_g - normalised * mean_gx))
-        # d is unused beyond documentation of the normalised axis size.
-        del d
 
     return _child(out_data, (x, weight, bias), backward)
 
@@ -134,6 +157,8 @@ def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
     """Gather rows of ``weight`` by integer ``indices`` (any shape)."""
     indices = np.asarray(indices, dtype=np.int64)
     out_data = weight.data[indices]
+    if not _needs_grad((weight,)):
+        return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
         full = np.zeros_like(weight.data)
@@ -162,19 +187,26 @@ def cross_entropy(
     shifted = logits.data - logits.data.max(axis=-1, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
     log_probs = shifted - log_norm
-    probs = np.exp(log_probs)
 
     safe_targets = np.where(valid, targets, 0)
     picked = log_probs[np.arange(len(targets)), safe_targets]
     if class_weights is not None:
+        class_weights = np.asarray(class_weights, dtype=logits.data.dtype)
         weights = np.where(valid, class_weights[safe_targets], 0.0)
     else:
-        weights = valid.astype(np.float64)
+        weights = valid.astype(logits.data.dtype)
     total_weight = max(weights.sum(), 1e-12)
     loss_value = -(picked * weights).sum() / total_weight
 
+    if not _needs_grad((logits,)):
+        out = Tensor._result(np.asarray(loss_value))
+        out.name = f"cross_entropy(n={n_valid})"
+        return out
+
+    probs = np.exp(log_probs)
+
     def backward(grad: np.ndarray) -> None:
-        g = np.asarray(grad, dtype=np.float64).reshape(())
+        g = np.asarray(grad, dtype=logits.data.dtype).reshape(())
         d_logits = probs * weights[:, None]
         d_logits[np.arange(len(targets)), safe_targets] -= weights
         d_logits /= total_weight
@@ -195,7 +227,7 @@ def kl_div_with_soft_targets(
     comes from the ground-truth table encoding, the student distribution from
     the masked table encoding.  Gradients flow only into the student logits.
     """
-    teacher_probs = np.asarray(teacher_probs, dtype=np.float64)
+    teacher_probs = np.asarray(teacher_probs, dtype=student_logits.data.dtype)
     if student_logits.data.shape != teacher_probs.shape:
         raise ValueError("student logits and teacher probabilities must have the same shape")
 
@@ -203,12 +235,16 @@ def kl_div_with_soft_targets(
     shifted = scaled - scaled.max(axis=-1, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
     log_probs = shifted - log_norm
-    probs = np.exp(log_probs)
     n_rows = max(student_logits.data.shape[0], 1)
     loss_value = -(teacher_probs * log_probs).sum() / n_rows
 
+    if not _needs_grad((student_logits,)):
+        return Tensor._result(np.asarray(loss_value))
+
+    probs = np.exp(log_probs)
+
     def backward(grad: np.ndarray) -> None:
-        g = np.asarray(grad, dtype=np.float64).reshape(())
+        g = np.asarray(grad, dtype=student_logits.data.dtype).reshape(())
         row_mass = teacher_probs.sum(axis=-1, keepdims=True)
         d_logits = (probs * row_mass - teacher_probs) / (temperature * n_rows)
         student_logits._accumulate(g * d_logits)
@@ -219,7 +255,9 @@ def kl_div_with_soft_targets(
 def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
     """Replace positions where ``mask`` is true with ``value`` (no grad there)."""
     mask = np.asarray(mask, dtype=bool)
-    out_data = np.where(mask, value, x.data)
+    out_data = np.where(mask, np.asarray(value, dtype=x.data.dtype), x.data)
+    if not _needs_grad((x,)):
+        return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
         x._accumulate(np.where(mask, 0.0, grad))

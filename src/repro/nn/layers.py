@@ -107,7 +107,7 @@ class Module:
                 f"unexpected={sorted(unexpected)!r}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name], dtype=np.float64)
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
@@ -265,7 +265,7 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.key(x), batch, seq)
         v = self._split_heads(self.value(x), batch, seq)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / float(np.sqrt(self.head_dim)))
         if attention_bias is not None:
             scores = scores + attention_bias
         if attention_mask is not None:

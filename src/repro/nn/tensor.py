@@ -6,6 +6,11 @@ closure that accumulates gradients into them.  Calling :meth:`Tensor.backward`
 on a scalar (or with an explicit output gradient) runs a topological sort of
 the graph and applies the closures in reverse order.
 
+Under :func:`no_grad` (or when no input requires a gradient) operations take a
+fast path that skips graph bookkeeping entirely — no backward closure is
+created and no parent tuple is recorded — so inference passes allocate nothing
+beyond the output arrays.
+
 Only the operations needed by the transformer encoders and the KGLink training
 objective are implemented, but they are implemented with full broadcasting
 support so the layers read naturally.
@@ -18,11 +23,22 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "get_default_dtype",
+    "set_default_dtype",
+]
 
 # Global switch mirroring ``torch.no_grad``: while disabled, operations do not
 # record the computation graph, which makes inference cheap.
 _GRAD_ENABLED = True
+
+# Global floating dtype used for all tensor data (float64 by default, float32
+# opt-in via :func:`set_default_dtype`).
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
 
 def is_grad_enabled() -> bool:
@@ -42,6 +58,34 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def get_default_dtype() -> np.dtype:
+    """The floating dtype new tensors are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the global tensor dtype (``float32`` or ``float64``).
+
+    Returns the previous default so callers can restore it::
+
+        previous = set_default_dtype(np.float32)
+        try:
+            ...
+        finally:
+            set_default_dtype(previous)
+
+    Existing tensors are unaffected; only tensors created afterwards use the
+    new dtype.
+    """
+    global _DEFAULT_DTYPE
+    resolved = np.dtype(dtype)
+    if resolved not in _ALLOWED_DTYPES:
+        raise ValueError(f"default dtype must be float32 or float64, got {resolved}")
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolved
+    return previous
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` so that it matches ``shape`` (inverse of broadcasting)."""
     if grad.shape == shape:
@@ -58,8 +102,8 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 def _as_array(value) -> np.ndarray:
     if isinstance(value, np.ndarray):
-        return value.astype(np.float64) if value.dtype != np.float64 else value
-    return np.asarray(value, dtype=np.float64)
+        return value if value.dtype == _DEFAULT_DTYPE else value.astype(_DEFAULT_DTYPE)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -68,7 +112,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible to a float64 numpy array.
+        Anything convertible to a numpy array of the default floating dtype
+        (see :func:`set_default_dtype`).
     requires_grad:
         When true, gradients flowing through operations involving this tensor
         are accumulated into :attr:`grad` during :meth:`backward`.
@@ -99,6 +144,10 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def __len__(self) -> int:
         return len(self.data)
 
@@ -116,7 +165,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor._result(self.data)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -126,8 +175,28 @@ class Tensor:
     # graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _ensure(other) -> "Tensor":
-        return other if isinstance(other, Tensor) else Tensor(other)
+    def _result(data: np.ndarray) -> "Tensor":
+        """Wrap an op result without dtype conversion.
+
+        Outputs inherit their dtype from the numpy computation, so a float32
+        model keeps producing float32 even after the global default is
+        restored to float64.
+        """
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.requires_grad = False
+        out.grad = None
+        out._backward = None
+        out._parents = ()
+        out.name = None
+        return out
+
+    def _ensure(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        # Scalar/array operands adopt this tensor's dtype (weak-scalar
+        # semantics) instead of the global default.
+        return Tensor._result(np.asarray(other, dtype=self.data.dtype))
 
     def _make_child(
         self,
@@ -135,7 +204,10 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        child = Tensor(data)
+        child = Tensor._result(data)
+        # Call sites guard this already (to skip closure creation entirely on
+        # the inference fast path); the re-check keeps the old contract — an
+        # unguarded op loses only the fast path, never tracks grads wrongly.
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             child.requires_grad = True
             child._parents = tuple(parents)
@@ -156,6 +228,8 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data + other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad, self.data.shape))
@@ -166,6 +240,9 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(-self.data)
+
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
@@ -180,6 +257,8 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data * other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad * other.data, self.data.shape))
@@ -192,6 +271,8 @@ class Tensor:
     def __truediv__(self, other) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data / other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_unbroadcast(grad / other.data, self.data.shape))
@@ -208,6 +289,8 @@ class Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
@@ -217,6 +300,8 @@ class Tensor:
     def __matmul__(self, other) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data @ other.data
+        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
@@ -233,6 +318,8 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad_expanded = grad
@@ -253,6 +340,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad_expanded = grad
@@ -260,7 +349,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 grad_expanded = np.expand_dims(grad, axis=axis)
                 out_expanded = np.expand_dims(out_data, axis=axis)
-            mask = (self.data == out_expanded).astype(np.float64)
+            mask = (self.data == out_expanded).astype(self.data.dtype)
             mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
             self._accumulate(mask * grad_expanded)
 
@@ -271,6 +360,8 @@ class Tensor:
             shape = tuple(shape[0])
         original_shape = self.data.shape
         out_data = self.data.reshape(shape)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original_shape))
@@ -283,6 +374,8 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         out_data = self.data.transpose(axes)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
         inverse = np.argsort(axes)
 
         def backward(grad: np.ndarray) -> None:
@@ -297,6 +390,8 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
@@ -310,6 +405,8 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -318,6 +415,8 @@ class Tensor:
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
@@ -329,6 +428,8 @@ class Tensor:
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
@@ -336,7 +437,9 @@ class Tensor:
         return self._make_child(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(np.maximum(self.data, 0.0))
+        mask = (self.data > 0).astype(self.data.dtype)
         out_data = self.data * mask
 
         def backward(grad: np.ndarray) -> None:
@@ -346,6 +449,8 @@ class Tensor:
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not (_GRAD_ENABLED and self.requires_grad):
+            return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -370,7 +475,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar tensors")
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         ordering: list[Tensor] = []
         visited: set[int] = set()
@@ -420,6 +525,9 @@ class Tensor:
         tensors = list(tensors)
         datas = [t.data for t in tensors]
         out_data = np.concatenate(datas, axis=axis)
+        child = Tensor._result(out_data)
+        if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+            return child
         sizes = [d.shape[axis] for d in datas]
         offsets = np.cumsum([0] + sizes)
 
@@ -429,26 +537,25 @@ class Tensor:
                 index[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(index)])
 
-        child = Tensor(out_data)
-        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
-            child.requires_grad = True
-            child._parents = tuple(tensors)
-            child._backward = backward
+        child.requires_grad = True
+        child._parents = tuple(tensors)
+        child._backward = backward
         return child
 
     @staticmethod
     def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
         tensors = list(tensors)
         out_data = np.stack([t.data for t in tensors], axis=axis)
+        child = Tensor._result(out_data)
+        if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+            return child
 
         def backward(grad: np.ndarray) -> None:
             moved = np.moveaxis(grad, axis, 0)
             for tensor, piece in zip(tensors, moved):
                 tensor._accumulate(piece)
 
-        child = Tensor(out_data)
-        if _GRAD_ENABLED and any(t.requires_grad for t in tensors):
-            child.requires_grad = True
-            child._parents = tuple(tensors)
-            child._backward = backward
+        child.requires_grad = True
+        child._parents = tuple(tensors)
+        child._backward = backward
         return child

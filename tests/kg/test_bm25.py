@@ -55,6 +55,14 @@ class TestIndexing:
         assert index.document_frequency("peter") == 3
         assert index.document_frequency("unseen") == 0
 
+    def test_term_statistics_normalized_consistently(self, index):
+        # Regression: document_frequency used to lower-case its argument while
+        # other entry points consumed raw tokens; normalization now lives in
+        # one place so every term-level API agrees on case.
+        assert index.document_frequency("PETER") == index.document_frequency("peter")
+        assert index.idf("Gothic") == index.idf("gothic")
+        assert index.score("PETER STEELE", "d1") == index.score("peter steele", "d1")
+
 
 class TestScoring:
     def test_idf_formula(self, index):

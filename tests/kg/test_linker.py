@@ -93,6 +93,57 @@ class TestScores:
         assert small_linker.cache_info().hits == before + 1
 
 
+class TestLinkBatch:
+    MENTIONS = [
+        "Peter Steele",
+        "1234",            # number: never linked
+        "Riverton Tigers",
+        "",
+        None,
+        "1888-11-24",      # date: never linked
+        "Peter Steele",    # duplicate: one retrieval
+        "  Peter Steele  ",  # whitespace normalises to the same key
+        "zzzz qqqq",
+        "PETER",
+    ]
+
+    def test_matches_sequential_link(self, small_graph):
+        batch_linker = EntityLinker(small_graph, LinkerConfig(max_candidates=5))
+        seq_linker = EntityLinker(small_graph, LinkerConfig(max_candidates=5))
+        batched = batch_linker.link_batch(self.MENTIONS)
+        sequential = [seq_linker.link(mention) for mention in self.MENTIONS]
+        assert batched == sequential
+
+    def test_precomputed_schemas_do_not_change_results(self, small_graph):
+        from repro.text.ner import detect_schema
+
+        linker = EntityLinker(small_graph, LinkerConfig(max_candidates=5))
+        schemas = [detect_schema(m) for m in self.MENTIONS]
+        with_schemas = linker.link_batch(self.MENTIONS, schemas=schemas)
+        without = linker.link_batch(self.MENTIONS)
+        assert with_schemas == without
+
+    def test_schemas_must_align(self, small_linker):
+        with pytest.raises(ValueError):
+            small_linker.link_batch(["a", "b"], schemas=[EntitySchema.OTHER])
+
+    def test_duplicates_resolved_through_one_retrieval(self, small_graph):
+        linker = EntityLinker(small_graph, LinkerConfig(max_candidates=5))
+        linker.link_batch(["Peter Steele"] * 50 + ["PETER STEELE", "  peter steele "])
+        # One distinct key -> exactly one cache miss for the whole batch.
+        assert linker.cache_info().misses == 1
+
+    def test_empty_batch(self, small_linker):
+        assert small_linker.link_batch([]) == []
+
+    def test_batch_shares_cache_with_link(self, small_graph):
+        linker = EntityLinker(small_graph, LinkerConfig(max_candidates=5))
+        expected = linker.link("Peter Steele")
+        hits_before = linker.cache_info().hits
+        assert linker.link_batch(["Peter Steele"]) == [expected]
+        assert linker.cache_info().hits == hits_before + 1
+
+
 class TestAgainstSyntheticWorld:
     def test_person_labels_link_to_themselves(self, world, linker):
         # Take a handful of person entities and check self-retrieval quality.

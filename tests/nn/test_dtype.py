@@ -1,0 +1,154 @@
+"""Tests of the configurable default dtype and the grad-free inference fast path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.layers import LayerNorm, Linear
+from repro.nn.optim import AdamW
+from repro.nn.tensor import (
+    Tensor,
+    get_default_dtype,
+    no_grad,
+    set_default_dtype,
+)
+
+
+@pytest.fixture()
+def float32_default():
+    previous = set_default_dtype(np.float32)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
+
+
+class TestDefaultDtype:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.dtype(np.float64)
+        assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_set_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert previous == np.dtype(np.float64)
+            assert get_default_dtype() == np.dtype(np.float32)
+        finally:
+            set_default_dtype(previous)
+
+    def test_rejects_non_float_dtypes(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            set_default_dtype(np.float16)
+
+    def test_tensor_creation_uses_default(self, float32_default):
+        assert Tensor([1.0, 2.0]).dtype == np.float32
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float32
+        assert Tensor.zeros(2, 2).dtype == np.float32
+
+    def test_ops_preserve_float32(self, float32_default):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        w = Tensor(np.ones((3, 3)))
+        assert (x + 1.0).dtype == np.float32
+        assert (x * 2.0).dtype == np.float32
+        assert (x @ w).dtype == np.float32
+        assert F.gelu(x).dtype == np.float32
+        assert F.softmax(x).dtype == np.float32
+        norm = LayerNorm(3)
+        assert norm(x).dtype == np.float32
+
+    def test_float32_model_survives_default_restore(self):
+        # Regression: op outputs used to be re-converted to the *current*
+        # global default, silently upcasting a float32 model to float64 after
+        # the set/restore pattern from the set_default_dtype docstring.
+        previous = set_default_dtype(np.float32)
+        try:
+            layer = Linear(4, 2)
+            x = Tensor(np.ones((3, 4)))
+        finally:
+            set_default_dtype(previous)
+        out = layer(x)  # forward pass runs after the restore
+        assert out.dtype == np.float32
+        assert F.gelu(out).dtype == np.float32
+        assert (out * 2.0).dtype == np.float32
+
+    def test_backward_works_in_float32(self, float32_default):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        loss = (x * 3.0).sum()
+        loss.backward()
+        assert x.grad is not None
+        assert x.grad.dtype == np.float32
+        np.testing.assert_allclose(x.grad, 3.0)
+
+    def test_state_dict_round_trip_preserves_dtype(self, float32_default):
+        layer = Linear(4, 2)
+        assert layer.weight.data.dtype == np.float32
+        state = layer.state_dict()
+        layer.load_state_dict({k: v.astype(np.float64) for k, v in state.items()})
+        assert layer.weight.data.dtype == np.float32
+
+
+class TestNoGradFastPath:
+    def test_no_graph_recorded_under_no_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with no_grad():
+            out = F.gelu((x @ x) + x)
+        assert not out.requires_grad
+        assert out._backward is None
+        assert out._parents == ()
+
+    def test_no_graph_without_grad_inputs(self):
+        x = Tensor(np.ones((2, 2)))
+        out = (x @ x).relu().sum()
+        assert not out.requires_grad
+        assert out._backward is None
+        assert out._parents == ()
+
+    def test_graph_still_recorded_when_training(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = (x @ x).sum()
+        assert out.requires_grad
+        assert out._backward is not None
+        assert out._parents != ()
+
+
+class TestTrainerSmokeStepFloat32:
+    @staticmethod
+    def _one_training_step() -> float:
+        from repro.core.model import KGLinkModel
+        from repro.plm.config import PLMConfig
+        from repro.plm.model import MiniBERT
+
+        encoder = MiniBERT(PLMConfig(vocab_size=300, hidden_size=32, num_layers=1,
+                                     num_heads=2, intermediate_size=64,
+                                     max_position_embeddings=64, seed=5))
+        model = KGLinkModel(encoder, num_labels=12, seed=5)
+        optimizer = AdamW(model.parameters(), lr=1e-3)
+        rng = np.random.default_rng(9)
+        token_ids = rng.integers(0, 300, size=(2, 48))
+        mask = np.ones_like(token_ids, dtype=bool)
+        labels = rng.integers(0, 12, size=(4,))
+        batch_index = np.repeat(np.arange(2), 2)
+        positions = np.tile(np.array([0, 24]), 2)
+
+        hidden = model.encode(token_ids, mask)
+        cls_vectors = model.gather_positions(hidden, batch_index, positions)
+        logits = model.classification_logits(cls_vectors)
+        loss = F.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    def test_float32_matches_float64_within_tolerance(self):
+        loss64 = self._one_training_step()
+        previous = set_default_dtype(np.float32)
+        try:
+            loss32 = self._one_training_step()
+        finally:
+            set_default_dtype(previous)
+        assert np.isfinite(loss32)
+        assert loss32 == pytest.approx(loss64, rel=1e-3, abs=1e-3)
