@@ -16,7 +16,9 @@ from repro.core.pipeline import KGCandidateExtractor, Part1Config
 from repro.kg.bm25 import BM25Index
 from repro.kg.linker import EntityLinker, LinkerConfig
 from repro.nn import functional as F
+from repro.nn.layers import MultiHeadSelfAttention
 from repro.nn.optim import AdamW
+from repro.nn.tensor import Tensor, no_grad
 from repro.plm.config import PLMConfig
 from repro.plm.model import MiniBERT
 
@@ -109,6 +111,47 @@ def test_minibert_forward(benchmark):
     mask = np.ones_like(token_ids, dtype=bool)
     hidden = benchmark(lambda: encoder(token_ids, attention_mask=mask))
     assert hidden.shape == (8, 160, 64)
+
+
+def test_minibert_inference(benchmark):
+    """Same forward under no_grad: the prediction-path cost."""
+    encoder = MiniBERT(PLMConfig(vocab_size=2000, hidden_size=64, num_layers=2, num_heads=4,
+                                 intermediate_size=128, max_position_embeddings=256))
+    encoder.eval()
+    rng = np.random.default_rng(0)
+    token_ids = rng.integers(0, 2000, size=(8, 160))
+    mask = np.ones_like(token_ids, dtype=bool)
+
+    def run():
+        with no_grad():
+            return encoder(token_ids, attention_mask=mask)
+
+    hidden = benchmark(run)
+    assert hidden.shape == (8, 160, 64)
+
+
+def _attention_inputs():
+    rng = np.random.default_rng(2)
+    layer = MultiHeadSelfAttention(hidden_size=64, num_heads=4, dropout=0.0,
+                                   rng=np.random.default_rng(7))
+    x = Tensor(rng.normal(size=(8, 160, 64)))
+    mask = np.ones((8, 160), dtype=bool)
+    mask[:, 120:] = False
+    return layer, x, mask
+
+
+def test_attention_fused(benchmark):
+    layer, x, mask = _attention_inputs()
+    layer.fused = True
+    out = benchmark(lambda: layer(x, attention_mask=mask))
+    assert out.shape == x.shape
+
+
+def test_attention_unfused(benchmark):
+    layer, x, mask = _attention_inputs()
+    layer.fused = False
+    out = benchmark(lambda: layer(x, attention_mask=mask))
+    assert out.shape == x.shape
 
 
 def test_training_step(benchmark):

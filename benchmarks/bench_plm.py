@@ -1,0 +1,157 @@
+"""PLM encoder benchmark: fused attention, packed QKV, cached relative bias.
+
+Times the MiniBERT/MiniDeBERTa forward pass and one fine-tuning step at the
+same scale as ``bench_components.py`` (batch 8, sequence 160, hidden 64, two
+layers), comparing the fused :func:`scaled_dot_product_attention` node against
+the unfused chain of primitive ops kept as the parity oracle.
+
+Results are written as JSON (``scripts/run_benchmarks.sh`` commits them to
+``BENCH_plm.json``) so the PLM's performance trajectory is tracked per PR,
+alongside ``BENCH_retrieval.json`` for the retrieval engine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_plm.py --output BENCH_plm.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.core.model import KGLinkModel
+from repro.nn import functional as F
+from repro.nn.optim import AdamW
+from repro.nn.tensor import no_grad
+from repro.plm.config import PLMConfig
+from repro.plm.model import MiniBERT, MiniDeBERTa
+
+
+def _set_fused(encoder: MiniBERT, fused: bool) -> None:
+    for layer in encoder.layers:
+        layer.attention.fused = fused
+
+
+def _median_ms(fn, repeats: int, warmup: int = 3) -> float:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times) * 1e3)
+
+
+def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
+    config = PLMConfig(vocab_size=2000, hidden_size=64, num_layers=2, num_heads=4,
+                       intermediate_size=128, max_position_embeddings=max(256, seq_len),
+                       seed=seed)
+    rng = np.random.default_rng(seed)
+    token_ids = rng.integers(0, config.vocab_size, size=(batch_size, seq_len))
+    # All-true mask: identical setup to bench_components.test_minibert_forward,
+    # so forward_ms_per_batch is directly comparable to the PR 1 baseline.
+    mask = np.ones_like(token_ids, dtype=bool)
+
+    encoder = MiniBERT(config)
+    encoder.eval()
+
+    results: dict[str, float] = {}
+    for fused in (True, False):
+        _set_fused(encoder, fused)
+        key = "fused" if fused else "unfused"
+        results[f"forward_ms_{key}"] = round(
+            _median_ms(lambda: encoder(token_ids, attention_mask=mask), repeats), 3
+        )
+        with no_grad():
+            results[f"inference_ms_{key}"] = round(
+                _median_ms(lambda: encoder(token_ids, attention_mask=mask), repeats), 3
+            )
+    _set_fused(encoder, True)
+
+    deberta = MiniDeBERTa(config.as_deberta())
+    deberta.eval()
+    with no_grad():
+        deberta_ms = _median_ms(
+            lambda: deberta(token_ids, attention_mask=mask), repeats
+        )
+
+    # One fine-tuning step (forward + backward + AdamW) on the fused path.
+    model = KGLinkModel(MiniBERT(config), num_labels=40)
+    optimizer = AdamW(model.parameters(), lr=1e-3)
+    step_rng = np.random.default_rng(seed + 1)
+    labels = step_rng.integers(0, 40, size=(batch_size * 3,))
+    batch_index = np.repeat(np.arange(batch_size), 3)
+    positions = np.tile(np.array([0, 40, 80]), batch_size)
+
+    def train_step() -> None:
+        hidden = model.encode(token_ids, mask)
+        cls_vectors = model.gather_positions(hidden, batch_index, positions)
+        logits = model.classification_logits(cls_vectors)
+        loss = F.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+    train_ms = _median_ms(train_step, repeats)
+
+    return {
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "config": {
+            "batch_size": batch_size,
+            "seq_len": seq_len,
+            "hidden_size": config.hidden_size,
+            "num_layers": config.num_layers,
+            "num_heads": config.num_heads,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "encoder": {
+            "pr1_baseline": {
+                "forward_ms": 89.5,
+                "note": (
+                    "fixed historical reference: bench_components."
+                    "test_minibert_forward mean at the PR 1 tag (same shapes "
+                    "and mask) on the original dev machine; only meaningful "
+                    "against numbers from comparable hardware"
+                ),
+            },
+            "forward_ms_per_batch": results["forward_ms_fused"],
+            "forward_ms_unfused": results["forward_ms_unfused"],
+            "fused_attention_speedup": round(
+                results["forward_ms_unfused"] / results["forward_ms_fused"], 2
+            ),
+            "inference_ms_per_batch": results["inference_ms_fused"],
+            "inference_ms_unfused": results["inference_ms_unfused"],
+            "deberta_inference_ms_per_batch": round(deberta_ms, 3),
+        },
+        "training": {
+            "train_step_ms": round(train_ms, 3),
+        },
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--seq-len", type=int, default=160)
+    parser.add_argument("--repeats", type=int, default=15)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output", type=str, default=None,
+                        help="write results as JSON to this path")
+    args = parser.parse_args()
+
+    results = run(args.batch_size, args.seq_len, args.repeats, args.seed)
+    payload = json.dumps(results, indent=2)
+    print(payload)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Run the retrieval benchmark and record the numbers in BENCH_retrieval.json
-# at the repo root, so every PR leaves a performance data point behind.
+# Run the retrieval and PLM benchmarks and record the numbers in
+# BENCH_retrieval.json / BENCH_plm.json at the repo root, so every PR leaves
+# a performance data point behind.
 #
 # Usage: scripts/run_benchmarks.sh [extra bench_retrieval.py args...]
 set -euo pipefail
@@ -11,8 +12,9 @@ cd "$REPO_ROOT"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python benchmarks/bench_retrieval.py --output BENCH_retrieval.json "$@"
+python benchmarks/bench_plm.py --output BENCH_plm.json
 
 echo
-echo "Wrote $REPO_ROOT/BENCH_retrieval.json"
+echo "Wrote $REPO_ROOT/BENCH_retrieval.json and $REPO_ROOT/BENCH_plm.json"
 echo "For pytest-benchmark component timings, run:"
 echo "  PYTHONPATH=src python -m pytest benchmarks/bench_components.py -q"

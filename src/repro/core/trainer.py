@@ -116,6 +116,9 @@ class KGLinkTrainer:
         else:
             self.combined_loss = UncertaintyWeightedLoss()
         self.history = TrainingHistory()
+        # Padding statistics of the most recent predict() call (bucket sizes,
+        # padded vs useful token counts); None until predict() runs.
+        self.last_bucket_stats: dict | None = None
 
     # ------------------------------------------------------------------ #
     # example preparation
@@ -181,8 +184,10 @@ class KGLinkTrainer:
         mask_batch_indices: list[int] = []
         mask_positions: list[int] = []
         gt_positions: list[int] = []
+        gt_batch_indices: list[int] = []
         feature_blocks: list[np.ndarray] = []
         feature_attention_blocks: list[np.ndarray] = []
+        gt_table_count = 0
         for table_index, example in enumerate(batch):
             masked = example.masked
             for col, cls_pos in enumerate(masked.cls_positions):
@@ -198,6 +203,9 @@ class KGLinkTrainer:
                         mask_batch_indices.append(table_index)
                         mask_positions.append(mask_pos)
                         gt_positions.append(gt_pos)
+                        # Row of this table in the (denser) ground-truth batch.
+                        gt_batch_indices.append(gt_table_count)
+                gt_table_count += 1
         features = np.concatenate(feature_blocks, axis=0) if feature_blocks else None
         feature_attention = (
             np.concatenate(feature_attention_blocks, axis=0) if feature_attention_blocks else None
@@ -209,6 +217,7 @@ class KGLinkTrainer:
             "mask_batch_indices": np.asarray(mask_batch_indices, dtype=np.int64),
             "mask_positions": np.asarray(mask_positions, dtype=np.int64),
             "gt_positions": np.asarray(gt_positions, dtype=np.int64),
+            "gt_batch_indices": np.asarray(gt_batch_indices, dtype=np.int64),
             "features": features,
             "feature_attention": feature_attention,
         }
@@ -244,23 +253,8 @@ class KGLinkTrainer:
             gt_examples = [example.ground_truth for example in batch if example.ground_truth]
             token_ids, attention = self._pad_batch(gt_examples)
             gt_hidden = self.model.encode(token_ids, attention)
-            # Re-derive batch indices in the ground-truth batch ordering.
-            gt_index_of_table = {}
-            position = 0
-            for example in batch:
-                if example.ground_truth is not None:
-                    gt_index_of_table[id(example)] = position
-                    position += 1
-            gt_batch_indices = []
-            for example, table_index in zip(batch, range(len(batch))):
-                if example.ground_truth is None:
-                    continue
-                for col, mask_pos in enumerate(example.masked.mask_positions):
-                    gt_pos = example.ground_truth.label_positions[col]
-                    if mask_pos >= 0 and gt_pos >= 0 and example.label_indices[col] != IGNORE_INDEX:
-                        gt_batch_indices.append(gt_index_of_table[id(example)])
             teacher_vectors = self.model.gather_positions(
-                gt_hidden, np.asarray(gt_batch_indices, dtype=np.int64), flat["gt_positions"]
+                gt_hidden, flat["gt_batch_indices"], flat["gt_positions"]
             )
             teacher_logits = self.model.vocabulary_logits(teacher_vectors).data
         return self.dmlm_loss(student_logits, teacher_logits)
@@ -345,29 +339,63 @@ class KGLinkTrainer:
     # ------------------------------------------------------------------ #
     # prediction and evaluation
     # ------------------------------------------------------------------ #
-    def predict(self, examples: list[PreparedExample], batch_size: int | None = None
-                ) -> list[list[str]]:
-        """Predicted labels for every column of every example (table order preserved)."""
+    @staticmethod
+    def _padded_tokens(lengths: np.ndarray, order: np.ndarray, batch_size: int) -> int:
+        """Total token slots a batched forward pays under ``order``."""
+        total = 0
+        for start in range(0, len(order), batch_size):
+            chunk = lengths[order[start : start + batch_size]]
+            total += int(chunk.max()) * len(chunk)
+        return total
+
+    def predict(self, examples: list[PreparedExample], batch_size: int | None = None,
+                length_bucketing: bool = True) -> list[list[str]]:
+        """Predicted labels for every column of every example (table order preserved).
+
+        With ``length_bucketing`` (the default) examples are batched in order
+        of serialised length, so short tables are not padded to the longest
+        table of an arbitrary batch; results are returned in the original
+        table order either way, and padded positions are attention-masked, so
+        the predictions are identical with bucketing on or off.  Padding
+        statistics of the last call are exposed as :attr:`last_bucket_stats`.
+        """
         if not examples:
+            self.last_bucket_stats = None
             return []
         batch_size = batch_size or self.config.batch_size
+        lengths = np.asarray([example.masked.sequence_length for example in examples])
+        if length_bucketing:
+            order = np.argsort(lengths, kind="stable")
+        else:
+            order = np.arange(len(examples))
+        self.last_bucket_stats = {
+            "n_examples": len(examples),
+            "n_batches": int(np.ceil(len(examples) / batch_size)),
+            "length_bucketing": bool(length_bucketing),
+            "useful_tokens": int(lengths.sum()),
+            "padded_tokens": self._padded_tokens(lengths, order, batch_size),
+            "padded_tokens_unbucketed": self._padded_tokens(
+                lengths, np.arange(len(examples)), batch_size
+            ),
+        }
         self.model.eval()
-        predictions: list[list[str]] = []
+        predictions: list[list[str] | None] = [None] * len(examples)
         with no_grad():
             for start in range(0, len(examples), batch_size):
-                batch = examples[start : start + batch_size]
+                chunk = order[start : start + batch_size]
+                batch = [examples[i] for i in chunk]
                 flat = self._flatten_columns(batch)
                 _, logits = self._classification_forward(batch, flat)
                 indices = self.model.predict_labels(logits)
                 cursor = 0
-                for example in batch:
+                for example_index, example in zip(chunk, batch):
                     n_cols = example.masked.n_columns
                     predicted = [
                         self.label_vocabulary[int(index)]
                         for index in indices[cursor : cursor + n_cols]
                     ]
                     cursor += n_cols
-                    predictions.append(predicted)
+                    predictions[int(example_index)] = predicted
         return predictions
 
     def evaluate(self, examples: list[PreparedExample]) -> EvaluationResult:

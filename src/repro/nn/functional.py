@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
 
 __all__ = [
     "softmax",
@@ -28,7 +28,9 @@ __all__ = [
     "embedding_lookup",
     "cross_entropy",
     "kl_div_with_soft_targets",
+    "linear",
     "masked_fill",
+    "scaled_dot_product_attention",
 ]
 
 # Python float so it stays a "weak" scalar and never promotes float32 arrays.
@@ -85,17 +87,30 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
-    inner = _GELU_C * (x.data + 0.044715 * x.data**3)
-    tanh_inner = np.tanh(inner)
-    out_data = 0.5 * x.data * (1.0 + tanh_inner)
+    """Gaussian error linear unit (tanh approximation, as used by BERT).
+
+    The cubic term is computed as ``x*x*x`` and the pipeline runs in-place on
+    two scratch buffers: numpy's float ``**`` falls back to ``pow`` (~60x
+    slower than multiplication), and the naive expression allocates six
+    temporaries per call, which dominated the encoder's FFN cost.
+    """
+    data = x.data
+    inner = data * data
+    inner *= data
+    inner *= 0.044715
+    inner += data
+    inner *= _GELU_C
+    tanh_inner = np.tanh(inner, out=inner)
+    out_data = tanh_inner + 1.0
+    out_data *= data
+    out_data *= 0.5
     if not _needs_grad((x,)):
         return Tensor._result(out_data)
 
     def backward(grad: np.ndarray) -> None:
-        sech2 = 1.0 - tanh_inner**2
-        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * x.data**2)
-        local = 0.5 * (1.0 + tanh_inner) + 0.5 * x.data * sech2 * d_inner
+        sech2 = 1.0 - tanh_inner * tanh_inner
+        d_inner = _GELU_C * (1.0 + 3 * 0.044715 * (data * data))
+        local = 0.5 * (1.0 + tanh_inner) + 0.5 * data * sech2 * d_inner
         x._accumulate(grad * local)
 
     return _child(out_data, (x,), backward)
@@ -130,12 +145,23 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the last dimension."""
     mean = x.data.mean(axis=-1, keepdims=True)
-    var = x.data.var(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
-    normalised = (x.data - mean) * inv_std
-    out_data = normalised * weight.data + bias.data
     if not _needs_grad((x, weight, bias)):
+        # In-place pipeline reusing the centered buffer (``np.var`` would
+        # re-centre internally); the grad path below keeps the ``normalised``
+        # intermediate alive for the backward closure.
+        out_data = x.data - mean
+        var = (out_data * out_data).mean(axis=-1, keepdims=True)
+        out_data *= 1.0 / np.sqrt(var + eps)
+        out_data *= weight.data
+        out_data += bias.data
         return Tensor._result(out_data)
+    centered = x.data - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    normalised = centered
+    normalised *= inv_std
+    out_data = normalised * weight.data
+    out_data += bias.data
 
     def backward(grad: np.ndarray) -> None:
         if weight.requires_grad:
@@ -250,6 +276,144 @@ def kl_div_with_soft_targets(
         student_logits._accumulate(g * d_logits)
 
     return _child(np.asarray(loss_value), (student_logits,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Fused affine map ``y = x W^T + b`` as a single autograd node.
+
+    Collapses the ``transpose -> matmul -> add`` chain of Tensor ops (three
+    nodes, a broadcast bias copy, and a batched 3-D matmul) into one node
+    backed by a single 2-D GEMM with an in-place bias add.
+    """
+    data = x.data
+    w = weight.data
+    flat = data.reshape(-1, data.shape[-1]) if data.ndim != 2 else data
+    out_flat = flat @ w.T
+    if bias is not None:
+        out_flat += bias.data
+    out_data = (
+        out_flat.reshape(*data.shape[:-1], w.shape[0]) if data.ndim != 2 else out_flat
+    )
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _needs_grad(parents):
+        return Tensor._result(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(-1, w.shape[0])
+        if x.requires_grad:
+            x._accumulate((grad_flat @ w).reshape(data.shape))
+        if weight.requires_grad:
+            weight._accumulate(grad_flat.T @ flat)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_flat.sum(axis=0))
+
+    return _child(out_data, parents, backward)
+
+
+def scaled_dot_product_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attention_mask: np.ndarray | None = None,
+    attention_bias: "Tensor | np.ndarray | None" = None,
+    dropout_p: float = 0.0,
+    training: bool = False,
+    rng: np.random.Generator | None = None,
+    scale: float | None = None,
+    mask_value: float = -1e9,
+) -> Tensor:
+    """Fused attention: scale → bias → mask → softmax → dropout → weighted sum.
+
+    Computes ``softmax(q @ k^T * scale + bias, masked) @ v`` as a **single**
+    autograd node with a hand-derived backward, instead of the chain of ~8
+    primitive ops it replaces.  The numpy operations are applied in exactly
+    the order of the unfused chain, so forward values are bitwise identical;
+    what is saved is the graph bookkeeping (one closure instead of eight) and
+    the intermediate ``(batch, heads, seq, seq)`` allocations of the
+    element-wise ops (the broadcast ``masked_fill`` copy in particular).
+
+    Parameters mirror the unfused path in
+    :class:`~repro.nn.layers.MultiHeadSelfAttention`:
+
+    * ``attention_mask`` — optional ``(batch, seq)`` boolean padding mask with
+      ``True`` = keep; blocked key positions receive ``mask_value`` before the
+      softmax, so their weights underflow to exactly zero.
+    * ``attention_bias`` — optional additive bias broadcastable to the score
+      shape ``(batch, heads, seq_q, seq_k)``; gradients flow into it when it
+      is a :class:`Tensor` that requires grad.
+    * ``dropout_p``/``training``/``rng`` — inverted dropout on the attention
+      weights, drawing its mask from ``rng`` exactly like :func:`dropout`.
+    * ``scale`` — defaults to ``1/sqrt(head_dim)``.
+    """
+    if q.data.shape[-1] != k.data.shape[-1]:
+        raise ValueError("q and k must share the head dimension")
+    if scale is None:
+        scale = 1.0 / float(np.sqrt(q.data.shape[-1]))
+    dtype = q.data.dtype
+
+    bias_tensor = attention_bias if isinstance(attention_bias, Tensor) else None
+    bias_data = None
+    if attention_bias is not None:
+        bias_data = bias_tensor.data if bias_tensor is not None else np.asarray(attention_bias)
+
+    # Forward — the elementwise ops are applied in the same order as the
+    # unfused chain (so values are bitwise identical) but run IN PLACE on the
+    # freshly allocated score buffer: the unfused path materialises a new
+    # (batch, heads, seq, seq) array per op, and that allocation traffic —
+    # not the arithmetic — dominated the attention cost.
+    scores = q.data @ np.swapaxes(k.data, -1, -2)
+    scores *= np.asarray(scale, dtype=dtype)
+    if bias_data is not None:
+        scores += bias_data
+    blocked = None
+    if attention_mask is not None:
+        mask = np.asarray(attention_mask, dtype=bool)
+        if not mask.all():
+            blocked = ~mask[:, None, None, :]
+            np.copyto(scores, np.asarray(mask_value, dtype=dtype), where=blocked)
+    scores -= scores.max(axis=-1, keepdims=True)
+    np.exp(scores, out=scores)
+    scores /= scores.sum(axis=-1, keepdims=True)
+    weights = scores
+
+    drop_mask = None
+    dropped = weights
+    if training and dropout_p > 0.0:
+        if rng is None:
+            raise ValueError("dropout_p > 0 in training mode requires an rng")
+        keep = 1.0 - dropout_p
+        drop_mask = (rng.random(weights.shape) < keep).astype(dtype) / keep
+        dropped = weights * drop_mask
+    out_data = dropped @ v.data
+
+    parents = (q, k, v) if bias_tensor is None else (q, k, v, bias_tensor)
+    if not _needs_grad(parents):
+        return Tensor._result(out_data)
+
+    def backward(grad: np.ndarray) -> None:
+        if v.requires_grad:
+            grad_v = np.swapaxes(dropped, -1, -2) @ grad
+            v._accumulate(_unbroadcast(grad_v, v.data.shape))
+        d_dropped = grad @ np.swapaxes(v.data, -1, -2)
+        d_weights = d_dropped * drop_mask if drop_mask is not None else d_dropped
+        # Softmax backward.  Blocked positions of a partially-masked row have
+        # weight exactly 0, so their score gradient vanishes on its own; a
+        # FULLY-masked row degenerates to uniform weights, so zero it
+        # explicitly — matching masked_fill's unconditional grad blocking.
+        dot = (d_weights * weights).sum(axis=-1, keepdims=True)
+        d_scores = weights * (d_weights - dot)
+        if blocked is not None:
+            np.copyto(d_scores, 0.0, where=blocked)
+        if bias_tensor is not None and bias_tensor.requires_grad:
+            bias_tensor._accumulate(_unbroadcast(d_scores, bias_tensor.data.shape))
+        if q.requires_grad:
+            grad_q = (d_scores @ k.data) * scale
+            q._accumulate(_unbroadcast(grad_q, q.data.shape))
+        if k.requires_grad:
+            grad_k = (np.swapaxes(d_scores, -1, -2) @ q.data) * scale
+            k._accumulate(_unbroadcast(grad_k, k.data.shape))
+
+    return _child(out_data, parents, backward)
 
 
 def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:

@@ -13,7 +13,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 
 __all__ = [
     "Parameter",
@@ -34,6 +34,18 @@ class Parameter(Tensor):
 
     def __init__(self, data, name: str | None = None):
         super().__init__(data, requires_grad=True, name=name)
+
+
+def _child_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent child stream that does not consume draws from ``rng``.
+
+    Spawning keeps weight initialisation bitwise identical to code that does
+    not create the child, while still giving every dropout its own stream.
+    """
+    try:
+        return rng.spawn(1)[0]
+    except (AttributeError, TypeError, ValueError):  # generator without a seed sequence
+        return np.random.default_rng(int(rng.integers(0, 2**63)))
 
 
 class Module:
@@ -96,8 +108,23 @@ class Module:
         """Return a flat mapping from parameter names to numpy arrays."""
         return {name: param.data.copy() for name, param in self.named_parameters(prefix)}
 
+    def _upgrade_state_dict(self, state: dict[str, np.ndarray], prefix: str) -> None:
+        """Hook: migrate legacy checkpoint keys in ``state`` in place.
+
+        Sub-classes whose parameter layout changed override this to rewrite
+        old keys (prefixed with ``prefix``) into the current layout, so saved
+        checkpoints keep loading.  The default is a no-op.
+        """
+
+    def _apply_state_dict_upgrades(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        self._upgrade_state_dict(state, prefix)
+        for key, child in self._children():
+            child._apply_state_dict_upgrades(state, f"{prefix}{key}.")
+
     def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
         """Load parameter values from a mapping produced by :meth:`state_dict`."""
+        state = dict(state)
+        self._apply_state_dict_upgrades(state)
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -174,11 +201,18 @@ class Linear(Module):
         self.in_features = in_features
         self.out_features = out_features
 
+    @classmethod
+    def _from_weights(cls, weight: np.ndarray, bias: np.ndarray | None = None) -> "Linear":
+        """Wrap pre-computed arrays without drawing an initialisation."""
+        layer = cls.__new__(cls)
+        Module.__init__(layer)
+        layer.weight = Parameter(weight)
+        layer.bias = Parameter(bias) if bias is not None else None
+        layer.out_features, layer.in_features = layer.weight.data.shape
+        return layer
+
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.transpose()
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return F.linear(x, self.weight, self.bias)
 
 
 class Embedding(Module):
@@ -194,6 +228,17 @@ class Embedding(Module):
 
     def forward(self, indices: np.ndarray) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
+        if not is_grad_enabled():
+            # Inference fast path: let the gather itself do the bounds check
+            # instead of paying an O(n) min/max scan per lookup.  (Indices in
+            # [-num_embeddings, -1] wrap like numpy's; the training path
+            # below still rejects them with the friendly error.)
+            try:
+                return F.embedding_lookup(self.weight, indices)
+            except IndexError as exc:
+                raise IndexError(
+                    f"embedding index out of range [0, {self.num_embeddings})"
+                ) from exc
         if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
             raise IndexError(
                 f"embedding index out of range [0, {self.num_embeddings}): "
@@ -218,12 +263,13 @@ class LayerNorm(Module):
 class Dropout(Module):
     """Inverted dropout; identity in eval mode."""
 
-    def __init__(self, p: float = 0.1, seed: int = 0):
+    def __init__(self, p: float = 0.1, seed: int = 0,
+                 rng: np.random.Generator | None = None):
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self._rng)
@@ -234,6 +280,14 @@ class MultiHeadSelfAttention(Module):
 
     Supports an additive attention bias (used by the DeBERTa-style relative
     position variant) and a padding mask of shape ``(batch, seq)``.
+
+    Q, K and V are produced by a single packed ``(hidden, 3*hidden)``
+    projection (one matmul instead of three); checkpoints saved with the
+    older separate ``query``/``key``/``value`` layout are migrated on load.
+    The attention core runs through the fused
+    :func:`~repro.nn.functional.scaled_dot_product_attention` node by
+    default; setting :attr:`fused` to false selects the original chain of
+    primitive ops, kept as a parity oracle.
     """
 
     def __init__(self, hidden_size: int, num_heads: int, dropout: float = 0.1,
@@ -245,26 +299,48 @@ class MultiHeadSelfAttention(Module):
         self.hidden_size = hidden_size
         self.num_heads = num_heads
         self.head_dim = hidden_size // num_heads
-        self.query = Linear(hidden_size, hidden_size, rng=rng)
-        self.key = Linear(hidden_size, hidden_size, rng=rng)
-        self.value = Linear(hidden_size, hidden_size, rng=rng)
+        self.fused = True
+        # Draw the three projections exactly as the unpacked layout did (same
+        # rng consumption, same per-projection fan-in/fan-out scale), then
+        # pack them row-wise, so models seeded identically stay bitwise
+        # identical to the previous layout.
+        scale = np.sqrt(2.0 / (hidden_size + hidden_size))
+        packed = np.concatenate(
+            [rng.normal(0.0, scale, size=(hidden_size, hidden_size)) for _ in range(3)],
+            axis=0,
+        )
+        self.qkv = Linear._from_weights(packed, np.zeros(3 * hidden_size))
         self.output = Linear(hidden_size, hidden_size, rng=rng)
-        self.attn_dropout = Dropout(dropout)
+        self.attn_dropout = Dropout(dropout, rng=_child_rng(rng))
+
+    def _upgrade_state_dict(self, state: dict[str, np.ndarray], prefix: str) -> None:
+        # Checkpoints from before the packed-QKV layout store three separate
+        # projections; pack them on load so saved models keep working.
+        names = ("query", "key", "value")
+        weight_keys = [f"{prefix}{name}.weight" for name in names]
+        if f"{prefix}qkv.weight" in state or not all(key in state for key in weight_keys):
+            return
+        state[f"{prefix}qkv.weight"] = np.concatenate(
+            [state.pop(key) for key in weight_keys], axis=0
+        )
+        bias_keys = [f"{prefix}{name}.bias" for name in names]
+        if all(key in state for key in bias_keys):
+            state[f"{prefix}qkv.bias"] = np.concatenate(
+                [state.pop(key) for key in bias_keys], axis=0
+            )
 
     def _split_heads(self, x: Tensor, batch: int, seq: int) -> Tensor:
         return x.reshape(batch, seq, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(
+    def _unfused_attention(
         self,
-        x: Tensor,
-        attention_mask: np.ndarray | None = None,
-        attention_bias: Tensor | None = None,
+        q: Tensor,
+        k: Tensor,
+        v: Tensor,
+        attention_mask: np.ndarray | None,
+        attention_bias: Tensor | None,
     ) -> Tensor:
-        batch, seq, _ = x.shape
-        q = self._split_heads(self.query(x), batch, seq)
-        k = self._split_heads(self.key(x), batch, seq)
-        v = self._split_heads(self.value(x), batch, seq)
-
+        """Reference attention core: the original chain of primitive ops."""
         scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / float(np.sqrt(self.head_dim)))
         if attention_bias is not None:
             scores = scores + attention_bias
@@ -276,7 +352,31 @@ class MultiHeadSelfAttention(Module):
 
         weights = F.softmax(scores, axis=-1)
         weights = self.attn_dropout(weights)
-        context = weights @ v
+        return weights @ v
+
+    def forward(
+        self,
+        x: Tensor,
+        attention_mask: np.ndarray | None = None,
+        attention_bias: Tensor | None = None,
+    ) -> Tensor:
+        batch, seq, _ = x.shape
+        q_proj, k_proj, v_proj = self.qkv(x).chunk(3, axis=-1)
+        q = self._split_heads(q_proj, batch, seq)
+        k = self._split_heads(k_proj, batch, seq)
+        v = self._split_heads(v_proj, batch, seq)
+
+        if self.fused:
+            context = F.scaled_dot_product_attention(
+                q, k, v,
+                attention_mask=attention_mask,
+                attention_bias=attention_bias,
+                dropout_p=self.attn_dropout.p,
+                training=self.training,
+                rng=self.attn_dropout._rng,
+            )
+        else:
+            context = self._unfused_attention(q, k, v, attention_mask, attention_bias)
         context = context.transpose(0, 2, 1, 3).reshape(batch, seq, self.hidden_size)
         return self.output(context)
 
@@ -293,7 +393,7 @@ class TransformerEncoderLayer(Module):
         self.ffn_in = Linear(hidden_size, intermediate_size, rng=rng)
         self.ffn_out = Linear(intermediate_size, hidden_size, rng=rng)
         self.ffn_norm = LayerNorm(hidden_size)
-        self.dropout = Dropout(dropout)
+        self.dropout = Dropout(dropout, rng=_child_rng(rng))
 
     def forward(
         self,

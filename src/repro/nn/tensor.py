@@ -388,6 +388,41 @@ class Tensor:
         axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
         return self.transpose(tuple(axes))
 
+    def chunk(self, chunks: int, axis: int = -1) -> "list[Tensor]":
+        """Split into ``chunks`` equal views along ``axis``.
+
+        Cheaper than repeated ``__getitem__`` for the packed-QKV use case:
+        each chunk's backward writes its slice into a zeros buffer directly
+        instead of going through ``np.add.at`` with a fancy index.
+        """
+        axis = axis % self.data.ndim
+        size = self.data.shape[axis]
+        if size % chunks != 0:
+            raise ValueError(f"axis of size {size} is not divisible into {chunks} chunks")
+        step = size // chunks
+        track = _GRAD_ENABLED and self.requires_grad
+        outputs: list[Tensor] = []
+        for start in range(0, size, step):
+            index = [slice(None)] * self.data.ndim
+            index[axis] = slice(start, start + step)
+            index = tuple(index)
+            piece = self.data[index]
+            if not track:
+                outputs.append(Tensor._result(piece))
+                continue
+
+            def backward(grad: np.ndarray, index=index) -> None:
+                # Write the slice into the accumulator directly instead of
+                # materialising a full-size zeros buffer per chunk.
+                if not self.requires_grad:
+                    return
+                if self.grad is None:
+                    self.grad = np.zeros_like(self.data)
+                self.grad[index] += grad
+
+            outputs.append(self._make_child(piece, (self,), backward))
+        return outputs
+
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         if not (_GRAD_ENABLED and self.requires_grad):

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro import nn
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
 from repro.plm.config import PLMConfig
 
 __all__ = ["MiniBERT", "MiniDeBERTa", "create_encoder"]
@@ -32,16 +32,20 @@ class _Embeddings(nn.Module):
         self.norm = nn.LayerNorm(config.hidden_size)
         self.dropout = nn.Dropout(config.dropout, seed=config.seed)
         self.max_positions = config.max_position_embeddings
+        # Position ids are the same for every forward; compute them once and
+        # slice per sequence length instead of re-materialising the arange.
+        self._position_ids = np.arange(config.max_position_embeddings, dtype=np.int64)
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
         token_ids = np.asarray(token_ids, dtype=np.int64)
-        batch, seq = token_ids.shape
+        _, seq = token_ids.shape
         if seq > self.max_positions:
             raise ValueError(
                 f"sequence length {seq} exceeds max_position_embeddings {self.max_positions}"
             )
-        positions = np.broadcast_to(np.arange(seq), (batch, seq))
-        embeddings = self.token(token_ids) + self.position(positions)
+        # One (seq, hidden) position lookup broadcast over the batch, instead
+        # of gathering a duplicated (batch, seq, hidden) block.
+        embeddings = self.token(token_ids) + self.position(self._position_ids[:seq])
         return self.dropout(self.norm(embeddings))
 
 
@@ -114,13 +118,55 @@ class MiniDeBERTa(MiniBERT):
         self.relative_bias = nn.Embedding(
             2 * config.relative_attention_buckets + 1, config.num_heads, rng=rng
         )
+        # Per-sequence-length caches: the bucketed distance indices never
+        # change, and under no-grad the realised bias table only changes when
+        # the (tiny) relative_bias weights do — snapshot them to validate.
+        self._bias_index_cache: dict[int, np.ndarray] = {}
+        self._bias_value_cache: dict[int, np.ndarray] = {}
+        self._bias_weight_snapshot: np.ndarray | None = None
+
+    # Distinct sequence lengths retained per cache; length-bucketed predict
+    # can produce one padded length per bucket, so bound the growth with a
+    # cheap clear-at-cap policy.  Each value entry is O(heads * seq^2) float64
+    # (~2 MB at seq 256, 4 heads), so the cap is kept small.
+    _BIAS_CACHE_MAX = 16
+
+    def _bias_indices(self, seq_len: int) -> np.ndarray:
+        clipped = self._bias_index_cache.get(seq_len)
+        if clipped is None:
+            buckets = self.config.relative_attention_buckets
+            positions = np.arange(seq_len)
+            distance = positions[None, :] - positions[:, None]
+            clipped = np.clip(distance, -buckets, buckets) + buckets
+            if len(self._bias_index_cache) >= self._BIAS_CACHE_MAX:
+                self._bias_index_cache.clear()
+            self._bias_index_cache[seq_len] = clipped
+        return clipped
 
     def _attention_bias(self, seq_len: int) -> Tensor | None:
-        buckets = self.config.relative_attention_buckets
-        positions = np.arange(seq_len)
-        distance = positions[None, :] - positions[:, None]
-        clipped = np.clip(distance, -buckets, buckets) + buckets
-        # (seq, seq, heads) -> (1, heads, seq, seq) so it broadcasts over batch.
+        clipped = self._bias_indices(seq_len)
+        if not (is_grad_enabled() and self.relative_bias.weight.requires_grad):
+            # Inference: reuse the realised (1, heads, seq, seq) bias while
+            # the bias table is unchanged (the snapshot comparison is over
+            # (2*buckets+1, heads) scalars — negligible next to the gather).
+            weight = self.relative_bias.weight.data
+            if self._bias_weight_snapshot is None or not np.array_equal(
+                self._bias_weight_snapshot, weight
+            ):
+                self._bias_value_cache.clear()
+                self._bias_weight_snapshot = weight.copy()
+            cached = self._bias_value_cache.get(seq_len)
+            if cached is None or cached.dtype != weight.dtype:
+                cached = (
+                    weight[clipped]
+                    .transpose(2, 0, 1)
+                    .reshape(1, self.config.num_heads, seq_len, seq_len)
+                )
+                if len(self._bias_value_cache) >= self._BIAS_CACHE_MAX:
+                    self._bias_value_cache.clear()
+                self._bias_value_cache[seq_len] = cached
+            return Tensor._result(cached)
+        # Training: the lookup must stay in the autograd graph.
         bias = self.relative_bias(clipped)
         bias = bias.transpose(2, 0, 1).reshape(1, self.config.num_heads, seq_len, seq_len)
         return bias

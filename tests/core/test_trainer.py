@@ -153,6 +153,29 @@ class TestPredictionAndEvaluation:
         trainer = _make_trainer(tokenizer, label_vocabulary)
         assert trainer.predict([]) == []
 
+    def test_bucketed_predict_preserves_table_order(self, tokenizer, label_vocabulary,
+                                                    processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary, batch_size=3)
+        # Ragged table sizes: sorting by length must not leak into the output order.
+        examples = trainer.prepare_examples(processed)
+        lengths = [example.masked.sequence_length for example in examples]
+        assert len(set(lengths)) > 1, "fixture tables should have ragged lengths"
+        bucketed = trainer.predict(examples, length_bucketing=True)
+        stats_bucketed = trainer.last_bucket_stats
+        plain = trainer.predict(examples, length_bucketing=False)
+        stats_plain = trainer.last_bucket_stats
+        assert bucketed == plain
+        assert stats_bucketed["length_bucketing"] is True
+        assert stats_plain["length_bucketing"] is False
+        assert stats_bucketed["padded_tokens"] <= stats_bucketed["padded_tokens_unbucketed"]
+        assert stats_plain["padded_tokens"] == stats_plain["padded_tokens_unbucketed"]
+        assert stats_bucketed["useful_tokens"] <= stats_bucketed["padded_tokens"]
+
+    def test_bucket_stats_reset_on_empty_predict(self, tokenizer, label_vocabulary):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        trainer.predict([])
+        assert trainer.last_bucket_stats is None
+
     def test_evaluate_returns_percentages(self, tokenizer, label_vocabulary, processed):
         trainer = _make_trainer(tokenizer, label_vocabulary)
         examples = trainer.prepare_examples(processed[:5])

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, no_grad
 
 
 class TestModuleSystem:
@@ -115,6 +115,19 @@ class TestEmbedding:
         layer(np.array([0, 1, 1])).sum().backward()
         assert layer.weight.grad.shape == (7, 3)
 
+    def test_out_of_range_raises_under_no_grad(self):
+        layer = nn.Embedding(5, 2)
+        with no_grad():
+            with pytest.raises(IndexError):
+                layer(np.array([7]))
+
+    def test_lookup_matches_under_no_grad(self, rng):
+        layer = nn.Embedding(9, 4)
+        indices = np.array([[0, 3], [8, 1]])
+        expected = layer(indices).data
+        with no_grad():
+            np.testing.assert_array_equal(layer(indices).data, expected)
+
 
 class TestLayerNormModule:
     def test_learnable_parameters_exist(self):
@@ -177,8 +190,44 @@ class TestMultiHeadSelfAttention:
     def test_gradients_reach_projections(self, rng):
         layer = nn.MultiHeadSelfAttention(hidden_size=8, num_heads=2, dropout=0.0)
         layer(Tensor(rng.normal(size=(2, 3, 8)), requires_grad=True)).sum().backward()
-        assert layer.query.weight.grad is not None
+        assert layer.qkv.weight.grad is not None
         assert layer.output.weight.grad is not None
+
+    def test_loads_legacy_unpacked_checkpoint(self, rng):
+        layer = nn.MultiHeadSelfAttention(hidden_size=8, num_heads=2, dropout=0.0)
+        layer.eval()
+        state = layer.state_dict()
+        legacy = {"output.weight": state["output.weight"], "output.bias": state["output.bias"]}
+        for i, name in enumerate(("query", "key", "value")):
+            legacy[f"{name}.weight"] = state["qkv.weight"][i * 8 : (i + 1) * 8]
+            legacy[f"{name}.bias"] = state["qkv.bias"][i * 8 : (i + 1) * 8]
+        restored = nn.MultiHeadSelfAttention(
+            hidden_size=8, num_heads=2, dropout=0.0, rng=np.random.default_rng(123)
+        )
+        restored.eval()
+        restored.load_state_dict(legacy)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        np.testing.assert_array_equal(layer(x).data, restored(x).data)
+
+    def test_dropout_streams_differ_across_layers(self):
+        shared = np.random.default_rng(0)
+        first = nn.MultiHeadSelfAttention(hidden_size=8, num_heads=2, dropout=0.5, rng=shared)
+        second = nn.MultiHeadSelfAttention(hidden_size=8, num_heads=2, dropout=0.5, rng=shared)
+        assert not np.array_equal(
+            first.attn_dropout._rng.random(100), second.attn_dropout._rng.random(100)
+        )
+
+    def test_fused_and_unfused_agree_with_dropout(self, rng):
+        x = rng.normal(size=(2, 5, 8))
+        outs = []
+        for fused in (True, False):
+            layer = nn.MultiHeadSelfAttention(
+                hidden_size=8, num_heads=2, dropout=0.4, rng=np.random.default_rng(11)
+            )
+            layer.fused = fused
+            layer.train()
+            outs.append(layer(Tensor(x.copy())).data)
+        np.testing.assert_array_equal(outs[0], outs[1])
 
 
 class TestTransformerEncoderLayer:
@@ -204,3 +253,18 @@ class TestTransformerEncoderLayer:
         layer(Tensor(rng.normal(size=(2, 4, 8)))).sum().backward()
         missing = [name for name, p in layer.named_parameters() if p.grad is None]
         assert not missing
+
+    def test_dropout_streams_decorrelated(self):
+        shared = np.random.default_rng(0)
+        first = nn.TransformerEncoderLayer(8, 2, 16, dropout=0.5, rng=shared)
+        second = nn.TransformerEncoderLayer(8, 2, 16, dropout=0.5, rng=shared)
+        draws = [
+            module._rng.random(100)
+            for module in (
+                first.attention.attn_dropout, first.dropout,
+                second.attention.attn_dropout, second.dropout,
+            )
+        ]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])

@@ -121,6 +121,43 @@ class TestMiniDeBERTa:
         model(rng.integers(0, 100, size=(1, 5))).sum().backward()
         assert model.relative_bias.weight.grad is not None
 
+    def test_bias_index_cache_reused_per_length(self, config, rng):
+        model = MiniDeBERTa(config)
+        model.eval()
+        model(rng.integers(0, 100, size=(1, 5)))
+        model(rng.integers(0, 100, size=(2, 7)))
+        assert set(model._bias_index_cache) == {5, 7}
+        first = model._bias_index_cache[5]
+        model(rng.integers(0, 100, size=(1, 5)))
+        assert model._bias_index_cache[5] is first
+
+    def test_cached_bias_matches_autograd_path(self, config, rng):
+        model = MiniDeBERTa(config)
+        ids = rng.integers(0, 100, size=(2, 6))
+        model.eval()
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            cached = model(ids).data  # realises and reuses the value cache
+            warm = model(ids).data
+        eager = model(ids).data  # grad path recomputes the lookup
+        np.testing.assert_array_equal(cached, warm)
+        np.testing.assert_allclose(cached, eager, atol=1e-12)
+
+    def test_bias_value_cache_invalidated_on_weight_change(self, config, rng):
+        model = MiniDeBERTa(config)
+        model.eval()
+        ids = rng.integers(0, 100, size=(1, 6))
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            before = model(ids).data.copy()
+            # Simulate an optimiser step: bump the distance-0 bucket only, so
+            # the change is non-uniform across scores (softmax-visible).
+            model.relative_bias.weight.data[model.config.relative_attention_buckets] += 5.0
+            after = model(ids).data
+        assert not np.allclose(before, after)
+
 
 class TestCreateEncoder:
     def test_returns_bert_by_default(self, config):
