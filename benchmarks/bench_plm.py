@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.model import KGLinkModel
 from repro.nn import functional as F
 from repro.nn.optim import AdamW
-from repro.nn.tensor import no_grad
+from repro.nn.tensor import FLOAT64_POLICY, dtype_policy, get_dtype_policy, no_grad
 from repro.plm.config import PLMConfig
 from repro.plm.model import MiniBERT, MiniDeBERTa
 
@@ -47,10 +47,9 @@ def _median_ms(fn, repeats: int, warmup: int = 3) -> float:
     return float(np.median(times) * 1e3)
 
 
-def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
-    config = PLMConfig(vocab_size=2000, hidden_size=64, num_layers=2, num_heads=4,
-                       intermediate_size=128, max_position_embeddings=max(256, seq_len),
-                       seed=seed)
+def _measure(config: PLMConfig, batch_size: int, seq_len: int, repeats: int,
+             seed: int) -> dict[str, float]:
+    """Forward / inference / train-step timings under the ACTIVE dtype policy."""
     rng = np.random.default_rng(seed)
     token_ids = rng.integers(0, config.vocab_size, size=(batch_size, seq_len))
     # All-true mask: identical setup to bench_components.test_minibert_forward,
@@ -76,8 +75,8 @@ def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
     deberta = MiniDeBERTa(config.as_deberta())
     deberta.eval()
     with no_grad():
-        deberta_ms = _median_ms(
-            lambda: deberta(token_ids, attention_mask=mask), repeats
+        results["deberta_inference_ms"] = round(
+            _median_ms(lambda: deberta(token_ids, attention_mask=mask), repeats), 3
         )
 
     # One fine-tuning step (forward + backward + AdamW) on the fused path.
@@ -97,7 +96,20 @@ def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
         loss.backward()
         optimizer.step()
 
-    train_ms = _median_ms(train_step, repeats)
+    results["train_step_ms"] = round(_median_ms(train_step, repeats), 3)
+    return results
+
+
+def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
+    config = PLMConfig(vocab_size=2000, hidden_size=64, num_layers=2, num_heads=4,
+                       intermediate_size=128, max_position_embeddings=max(256, seq_len),
+                       seed=seed)
+    policy = get_dtype_policy()
+    results = _measure(config, batch_size, seq_len, repeats, seed)
+    # The float64 escape-hatch reference on the same machine and workload:
+    # this is the "before" of the dtype-policy change (PR 2 ran all-float64).
+    with dtype_policy(FLOAT64_POLICY):
+        reference = _measure(config, batch_size, seq_len, max(3, repeats // 3), seed)
 
     return {
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -109,6 +121,10 @@ def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
             "num_heads": config.num_heads,
             "repeats": repeats,
             "seed": seed,
+            "dtype_policy": {
+                "compute": str(policy.compute),
+                "accumulate": str(policy.accumulate),
+            },
         },
         "encoder": {
             "pr1_baseline": {
@@ -127,10 +143,25 @@ def run(batch_size: int, seq_len: int, repeats: int, seed: int) -> dict:
             ),
             "inference_ms_per_batch": results["inference_ms_fused"],
             "inference_ms_unfused": results["inference_ms_unfused"],
-            "deberta_inference_ms_per_batch": round(deberta_ms, 3),
+            "deberta_inference_ms_per_batch": results["deberta_inference_ms"],
         },
         "training": {
-            "train_step_ms": round(train_ms, 3),
+            "train_step_ms": results["train_step_ms"],
+        },
+        "float64_reference": {
+            "note": (
+                "same workload re-run under FLOAT64_POLICY (the pre-policy "
+                "default): the dtype-policy speedup on this machine"
+            ),
+            "forward_ms_per_batch": reference["forward_ms_fused"],
+            "inference_ms_per_batch": reference["inference_ms_fused"],
+            "train_step_ms": reference["train_step_ms"],
+            "forward_speedup_vs_float64": round(
+                reference["forward_ms_fused"] / results["forward_ms_fused"], 2
+            ),
+            "train_step_speedup_vs_float64": round(
+                reference["train_step_ms"] / results["train_step_ms"], 2
+            ),
         },
     }
 

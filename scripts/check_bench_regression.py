@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""Gate benchmark regressions against the committed BENCH_*.json baselines.
+
+Compares a freshly generated ``BENCH_plm.json`` / ``BENCH_retrieval.json``
+against the baselines committed at the repo root and exits non-zero when any
+tracked metric regressed by more than the tolerance (default 25%).
+
+Metrics come in two classes:
+
+* **ratio** metrics (speedup factors measured within one run, e.g.
+  ``search_speedup``) are hardware-independent and are always checked;
+* **absolute** metrics (wall-clock ms / throughput) only transfer between
+  comparable machines; ``--ratios-only`` skips them, which is what CI uses
+  because hosted runners are not comparable to the dev machine that produced
+  the committed baselines.
+
+Usage::
+
+    # local, strict (absolute + ratio metrics, 25% tolerance):
+    scripts/run_benchmarks.sh                       # writes the fresh numbers
+    git stash -- BENCH_plm.json BENCH_retrieval.json  # or keep copies
+    python scripts/check_bench_regression.py \
+        --plm-current /tmp/BENCH_plm.json --retrieval-current /tmp/BENCH_retrieval.json
+
+    # CI (hardware-independent ratios only):
+    python scripts/check_bench_regression.py --ratios-only \
+        --plm-current fresh_plm.json --retrieval-current fresh_retrieval.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One tracked benchmark number."""
+
+    path: str          # dotted path into the JSON document
+    higher_is_better: bool
+    is_ratio: bool     # hardware-independent (always checked) vs absolute
+
+
+PLM_METRICS = [
+    Metric("encoder.forward_ms_per_batch", higher_is_better=False, is_ratio=False),
+    Metric("encoder.inference_ms_per_batch", higher_is_better=False, is_ratio=False),
+    Metric("encoder.deberta_inference_ms_per_batch", higher_is_better=False, is_ratio=False),
+    Metric("training.train_step_ms", higher_is_better=False, is_ratio=False),
+    Metric("encoder.fused_attention_speedup", higher_is_better=True, is_ratio=True),
+    # The float32-vs-float64 speedups are within-run ratios but NOT hardware
+    # independent (SIMD width / BLAS build dependent), so they are classed as
+    # absolute: gated locally, informational on CI.
+    Metric("float64_reference.forward_speedup_vs_float64",
+           higher_is_better=True, is_ratio=False),
+    Metric("float64_reference.train_step_speedup_vs_float64",
+           higher_is_better=True, is_ratio=False),
+]
+
+RETRIEVAL_METRICS = [
+    Metric("bm25.build_seconds", higher_is_better=False, is_ratio=False),
+    Metric("bm25.finalize_seconds", higher_is_better=False, is_ratio=False),
+    Metric("bm25.vector_search_ms_per_query", higher_is_better=False, is_ratio=False),
+    Metric("linker.batch_mentions_per_second", higher_is_better=True, is_ratio=False),
+    Metric("bm25.search_speedup", higher_is_better=True, is_ratio=True),
+    Metric("linker.engine_speedup", higher_is_better=True, is_ratio=True),
+]
+
+
+def _lookup(document: dict, dotted: str):
+    node = document
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def _load(path: Path) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    metrics: list[Metric],
+    tolerance: float,
+    ratios_only: bool,
+    label: str,
+) -> list[str]:
+    """Return a list of human-readable regression descriptions."""
+    regressions: list[str] = []
+    for metric in metrics:
+        if ratios_only and not metric.is_ratio:
+            continue
+        base_value = _lookup(baseline, metric.path)
+        new_value = _lookup(current, metric.path)
+        if base_value is None or new_value is None:
+            # Baselines from before a metric existed (or trimmed files) are
+            # informational, not fatal — the next regenerate fills them in.
+            print(f"  [skip] {label}:{metric.path} (missing in "
+                  f"{'baseline' if base_value is None else 'current'})")
+            continue
+        base_value = float(base_value)
+        new_value = float(new_value)
+        if base_value <= 0:
+            print(f"  [skip] {label}:{metric.path} (non-positive baseline {base_value})")
+            continue
+        if metric.higher_is_better:
+            change = (base_value - new_value) / base_value  # >0 means worse
+        else:
+            change = (new_value - base_value) / base_value  # >0 means worse
+        status = "worse" if change > 0 else "better"
+        arrow = f"{base_value:g} -> {new_value:g} ({abs(change) * 100:.1f}% {status})"
+        if change > tolerance:
+            regressions.append(f"{label}:{metric.path}: {arrow} exceeds {tolerance:.0%}")
+            print(f"  [FAIL] {label}:{metric.path} {arrow}")
+        else:
+            print(f"  [ ok ] {label}:{metric.path} {arrow}")
+    return regressions
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--plm-baseline", type=Path, default=REPO_ROOT / "BENCH_plm.json")
+    parser.add_argument("--plm-current", type=Path, default=None,
+                        help="freshly generated PLM benchmark JSON")
+    parser.add_argument("--retrieval-baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_retrieval.json")
+    parser.add_argument("--retrieval-current", type=Path, default=None,
+                        help="freshly generated retrieval benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional regression per metric (default 0.25)")
+    parser.add_argument("--ratios-only", action="store_true",
+                        help="check only hardware-independent ratio metrics (CI mode)")
+    args = parser.parse_args()
+
+    if args.tolerance < 0:
+        parser.error("--tolerance must be non-negative")
+    pairs = []
+    if args.plm_current is not None:
+        pairs.append(("plm", args.plm_baseline, args.plm_current, PLM_METRICS))
+    if args.retrieval_current is not None:
+        pairs.append(
+            ("retrieval", args.retrieval_baseline, args.retrieval_current, RETRIEVAL_METRICS)
+        )
+    if not pairs:
+        parser.error("nothing to check: pass --plm-current and/or --retrieval-current")
+
+    regressions: list[str] = []
+    for label, baseline_path, current_path, metrics in pairs:
+        print(f"{label}: {current_path} vs baseline {baseline_path} "
+              f"(tolerance {args.tolerance:.0%}"
+              f"{', ratios only' if args.ratios_only else ''})")
+        regressions.extend(
+            compare(_load(baseline_path), _load(current_path), metrics,
+                    args.tolerance, args.ratios_only, label)
+        )
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark regression(s):", file=sys.stderr)
+        for line in regressions:
+            print(f"  - {line}", file=sys.stderr)
+        return 1
+    print("\nNo benchmark regressions beyond tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

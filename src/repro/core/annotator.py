@@ -24,9 +24,8 @@ differently-configured annotators.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-import numpy as np
 
 from repro.core.model import KGLinkModel
 from repro.core.pipeline import KGCandidateExtractor, Part1Config, ProcessedTable

@@ -27,7 +27,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.kg.graph import Entity, KnowledgeGraph, Predicates
+from repro.kg.graph import KnowledgeGraph, Predicates
 from repro.text.ner import EntitySchema
 
 __all__ = ["KGWorldConfig", "KGWorld", "SyntheticKGBuilder", "build_default_kg"]

@@ -9,7 +9,7 @@ neighbourhood queries the KGLink candidate-type extraction needs.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.text.ner import EntitySchema

@@ -5,6 +5,9 @@ provides exactly what the paper's deep-learning component needs:
 
 * :class:`~repro.nn.tensor.Tensor` — a define-by-run autograd tensor wrapping a
   numpy array.
+* :class:`~repro.nn.tensor.DtypePolicy` — the global compute/accumulate dtype
+  pair (float32 compute with float64 accumulation by default;
+  :data:`~repro.nn.tensor.FLOAT64_POLICY` is the full-precision escape hatch).
 * :mod:`~repro.nn.functional` — differentiable operations (softmax, gelu,
   layer norm, dropout, cross entropy, ...).
 * :mod:`~repro.nn.layers` — ``Module`` and the standard layers used by the
@@ -21,6 +24,13 @@ from repro.nn.tensor import (
     Tensor,
     no_grad,
     is_grad_enabled,
+    DtypePolicy,
+    FLOAT32_POLICY,
+    FLOAT64_POLICY,
+    get_dtype_policy,
+    set_dtype_policy,
+    dtype_policy,
+    accumulation_dtype,
     get_default_dtype,
     set_default_dtype,
 )
@@ -43,12 +53,19 @@ from repro.nn.losses import (
     UncertaintyWeightedLoss,
 )
 from repro.nn.optim import SGD, AdamW, LinearDecaySchedule, ConstantSchedule
-from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.serialization import checkpoint_metadata, load_state_dict, save_state_dict
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "DtypePolicy",
+    "FLOAT32_POLICY",
+    "FLOAT64_POLICY",
+    "get_dtype_policy",
+    "set_dtype_policy",
+    "dtype_policy",
+    "accumulation_dtype",
     "get_default_dtype",
     "set_default_dtype",
     "functional",
@@ -71,4 +88,5 @@ __all__ = [
     "ConstantSchedule",
     "save_state_dict",
     "load_state_dict",
+    "checkpoint_metadata",
 ]

@@ -9,13 +9,20 @@ When gradients are disabled (:func:`~repro.nn.tensor.no_grad`) or no input
 requires them, every function returns a plain tensor without creating a
 backward closure or recording parents, and all computations run in the dtype
 of their inputs (so a float32 model stays float32 end to end).
+
+Under the default :class:`~repro.nn.tensor.DtypePolicy` the numerically
+delicate reductions — softmax and log-sum-exp denominators, layer-norm
+moments, and the loss sums — accumulate in the policy's ``accumulate`` dtype
+(float64) and are cast back to the compute dtype before the expensive
+elementwise work, so a float32 model keeps float64-grade stability where it
+matters without paying float64 elementwise cost.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
+from repro.nn.tensor import Tensor, _unbroadcast, accumulation_dtype, is_grad_enabled
 
 __all__ = [
     "softmax",
@@ -57,10 +64,12 @@ def _child(data: np.ndarray, parents, backward) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis`` (denominator in accumulate dtype)."""
+    dtype = x.data.dtype
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exp = np.exp(shifted)
-    out_data = exp / exp.sum(axis=axis, keepdims=True)
+    denom = exp.sum(axis=axis, keepdims=True, dtype=accumulation_dtype(dtype))
+    out_data = exp / denom.astype(dtype, copy=False)
     if not _needs_grad((x,)):
         return Tensor._result(out_data)
 
@@ -72,10 +81,11 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    """Log-softmax along ``axis``."""
+    """Log-softmax along ``axis`` (log-sum-exp in accumulate dtype)."""
+    dtype = x.data.dtype
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_norm
+    sum_exp = np.exp(shifted).sum(axis=axis, keepdims=True, dtype=accumulation_dtype(dtype))
+    out_data = shifted - np.log(sum_exp).astype(dtype, copy=False)
     if not _needs_grad((x,)):
         return Tensor._result(out_data)
     soft = np.exp(out_data)
@@ -143,21 +153,23 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Te
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
-    """Layer normalisation over the last dimension."""
-    mean = x.data.mean(axis=-1, keepdims=True)
+    """Layer normalisation over the last dimension (moments in accumulate dtype)."""
+    dtype = x.data.dtype
+    acc = accumulation_dtype(dtype)
+    mean = x.data.mean(axis=-1, keepdims=True, dtype=acc).astype(dtype, copy=False)
     if not _needs_grad((x, weight, bias)):
         # In-place pipeline reusing the centered buffer (``np.var`` would
         # re-centre internally); the grad path below keeps the ``normalised``
         # intermediate alive for the backward closure.
         out_data = x.data - mean
-        var = (out_data * out_data).mean(axis=-1, keepdims=True)
-        out_data *= 1.0 / np.sqrt(var + eps)
+        var = (out_data * out_data).mean(axis=-1, keepdims=True, dtype=acc)
+        out_data *= (1.0 / np.sqrt(var + eps)).astype(dtype, copy=False)
         out_data *= weight.data
         out_data += bias.data
         return Tensor._result(out_data)
     centered = x.data - mean
-    var = (centered * centered).mean(axis=-1, keepdims=True)
-    inv_std = 1.0 / np.sqrt(var + eps)
+    var = (centered * centered).mean(axis=-1, keepdims=True, dtype=acc)
+    inv_std = (1.0 / np.sqrt(var + eps)).astype(dtype, copy=False)
     normalised = centered
     normalised *= inv_std
     out_data = normalised * weight.data
@@ -172,8 +184,11 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
             bias._accumulate(grad.sum(axis=axes))
         if x.requires_grad:
             g = grad * weight.data
-            mean_g = g.mean(axis=-1, keepdims=True)
-            mean_gx = (g * normalised).mean(axis=-1, keepdims=True)
+            mean_g = g.mean(axis=-1, keepdims=True, dtype=acc).astype(dtype, copy=False)
+            mean_gx = (
+                (g * normalised).mean(axis=-1, keepdims=True, dtype=acc)
+                .astype(dtype, copy=False)
+            )
             x._accumulate(inv_std * (g - mean_g - normalised * mean_gx))
 
     return _child(out_data, (x, weight, bias), backward)
@@ -210,19 +225,23 @@ def cross_entropy(
     valid = targets != ignore_index
     n_valid = max(int(valid.sum()), 1)
 
+    dtype = logits.data.dtype
+    acc = accumulation_dtype(dtype)
     shifted = logits.data - logits.data.max(axis=-1, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-    log_probs = shifted - log_norm
+    sum_exp = np.exp(shifted).sum(axis=-1, keepdims=True, dtype=acc)
+    log_probs = shifted - np.log(sum_exp).astype(dtype, copy=False)
 
     safe_targets = np.where(valid, targets, 0)
     picked = log_probs[np.arange(len(targets)), safe_targets]
     if class_weights is not None:
-        class_weights = np.asarray(class_weights, dtype=logits.data.dtype)
+        class_weights = np.asarray(class_weights, dtype=dtype)
         weights = np.where(valid, class_weights[safe_targets], 0.0)
     else:
-        weights = valid.astype(logits.data.dtype)
-    total_weight = max(weights.sum(), 1e-12)
-    loss_value = -(picked * weights).sum() / total_weight
+        weights = valid.astype(dtype)
+    # Loss reduction in the accumulate dtype: the per-row terms are computed
+    # in the compute dtype, the sum (and the resulting scalar) in float64.
+    total_weight = max(float(weights.sum(dtype=acc)), 1e-12)
+    loss_value = -float((picked.astype(acc, copy=False) * weights).sum()) / total_weight
 
     if not _needs_grad((logits,)):
         out = Tensor._result(np.asarray(loss_value))
@@ -257,12 +276,14 @@ def kl_div_with_soft_targets(
     if student_logits.data.shape != teacher_probs.shape:
         raise ValueError("student logits and teacher probabilities must have the same shape")
 
+    dtype = student_logits.data.dtype
+    acc = accumulation_dtype(dtype)
     scaled = student_logits.data / temperature
     shifted = scaled - scaled.max(axis=-1, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
-    log_probs = shifted - log_norm
+    sum_exp = np.exp(shifted).sum(axis=-1, keepdims=True, dtype=acc)
+    log_probs = shifted - np.log(sum_exp).astype(dtype, copy=False)
     n_rows = max(student_logits.data.shape[0], 1)
-    loss_value = -(teacher_probs * log_probs).sum() / n_rows
+    loss_value = -float((teacher_probs * log_probs).sum(dtype=acc)) / n_rows
 
     if not _needs_grad((student_logits,)):
         return Tensor._result(np.asarray(loss_value))
@@ -373,7 +394,8 @@ def scaled_dot_product_attention(
             np.copyto(scores, np.asarray(mask_value, dtype=dtype), where=blocked)
     scores -= scores.max(axis=-1, keepdims=True)
     np.exp(scores, out=scores)
-    scores /= scores.sum(axis=-1, keepdims=True)
+    denom = scores.sum(axis=-1, keepdims=True, dtype=accumulation_dtype(dtype))
+    scores /= denom.astype(dtype, copy=False)
     weights = scores
 
     drop_mask = None

@@ -103,6 +103,23 @@ class Module:
         for param in self.parameters():
             param.zero_grad()
 
+    # -- dtype ----------------------------------------------------------- #
+    def to(self, dtype) -> "Module":
+        """Cast every parameter to ``dtype`` in place (grads are dropped).
+
+        The escape hatch out of the global dtype policy for a single model:
+        ``model.to(np.float64)`` turns an existing float32 model into the
+        float64 parity oracle without touching the policy, because op outputs
+        inherit the dtype of their inputs.
+        """
+        resolved = np.dtype(dtype)
+        if resolved not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {resolved}")
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            param.grad = None
+        return self
+
     # -- state dict ------------------------------------------------------ #
     def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
         """Return a flat mapping from parameter names to numpy arrays."""

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.layers import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, accumulation_dtype
 
 __all__ = ["CrossEntropyLoss", "DMLMLoss", "UncertaintyWeightedLoss"]
 
@@ -27,8 +27,9 @@ class CrossEntropyLoss(Module):
     def __init__(self, ignore_index: int = -100, class_weights: np.ndarray | None = None):
         super().__init__()
         self.ignore_index = ignore_index
+        # Stored as-is; cross_entropy casts them to the logits' compute dtype.
         self.class_weights = (
-            np.asarray(class_weights, dtype=np.float64) if class_weights is not None else None
+            np.asarray(class_weights, dtype=float) if class_weights is not None else None
         )
 
     def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -53,8 +54,13 @@ class DMLMLoss(Module):
         self.temperature = temperature
 
     def teacher_distribution(self, teacher_logits: np.ndarray) -> np.ndarray:
-        """Convert raw teacher logits to a temperature-softened distribution."""
-        scaled = np.asarray(teacher_logits, dtype=np.float64) / self.temperature
+        """Convert raw teacher logits to a temperature-softened distribution.
+
+        Softening runs in the policy's accumulate dtype (gradients never flow
+        through the teacher, so the extra precision is free stability).
+        """
+        teacher_logits = np.asarray(teacher_logits)
+        scaled = teacher_logits.astype(accumulation_dtype(teacher_logits.dtype)) / self.temperature
         scaled = scaled - scaled.max(axis=-1, keepdims=True)
         exp = np.exp(scaled)
         return exp / exp.sum(axis=-1, keepdims=True)

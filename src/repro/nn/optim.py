@@ -3,6 +3,15 @@
 The paper fine-tunes with AdamW (eps = 1e-6, initial learning rate 3e-5) and a
 linear decay without warm-up; both are provided here, together with plain SGD
 used by a couple of baselines and unit tests.
+
+Under the default :class:`~repro.nn.tensor.DtypePolicy` parameters (and hence
+first moments / momentum buffers) are float32 while AdamW's second moments are
+kept in the policy's accumulate dtype (float64): ``v`` is a long exponential
+sum of squared gradients whose float32 rounding visibly perturbs the effective
+step size, whereas ``m`` tracks the gradient magnitude itself.  Optimiser
+state survives checkpointing via :meth:`Optimizer.state_dict` /
+:meth:`Optimizer.load_state_dict`, which restore each buffer in its
+policy-mandated dtype regardless of the dtype it was saved in.
 """
 
 from __future__ import annotations
@@ -12,16 +21,27 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.nn.layers import Parameter
+from repro.nn.tensor import accumulation_dtype
 
 __all__ = ["Optimizer", "SGD", "AdamW", "LinearDecaySchedule", "ConstantSchedule", "clip_grad_norm"]
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
-    """Clip the global gradient norm in-place; return the pre-clip norm."""
+    """Clip the global gradient norm in-place; return the pre-clip norm.
+
+    The squared-norm reduction accumulates in the policy's accumulate dtype.
+    """
     params = [p for p in parameters if p.grad is not None]
     if not params:
         return 0.0
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    total = float(
+        np.sqrt(
+            sum(
+                float(np.square(p.grad).sum(dtype=accumulation_dtype(p.grad.dtype)))
+                for p in params
+            )
+        )
+    )
     if total > max_norm > 0:
         scale = max_norm / (total + 1e-12)
         for p in params:
@@ -45,6 +65,49 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # -- checkpointing --------------------------------------------------- #
+    def _state_buffers(self) -> dict[str, tuple[list[np.ndarray], str | None]]:
+        """Mapping from buffer-list name to ``(buffers, dtype_rule)``.
+
+        ``dtype_rule`` of ``None`` means "match the parameter's dtype";
+        ``"accumulate"`` means the policy's accumulation dtype for that
+        parameter.  Sub-classes override this to expose their state.
+        """
+        return {}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat ``{name: array}`` mapping of the optimiser's mutable state."""
+        state: dict[str, np.ndarray] = {"lr": np.asarray(self.lr)}
+        for name, (buffers, _) in self._state_buffers().items():
+            for index, buffer in enumerate(buffers):
+                state[f"{name}.{index}"] = buffer.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state saved by :meth:`state_dict`.
+
+        Buffers are cast on load: dtype-mandated buffers (e.g. AdamW second
+        moments) to their policy dtype, the rest to the dtype of the parameter
+        they belong to — so checkpoints load across dtype policies.
+        """
+        self.lr = float(state["lr"])
+        for name, (buffers, dtype_rule) in self._state_buffers().items():
+            for index, param in enumerate(self.parameters):
+                key = f"{name}.{index}"
+                if key not in state:
+                    raise KeyError(f"optimizer state is missing {key!r}")
+                if dtype_rule == "accumulate":
+                    dtype = accumulation_dtype(param.data.dtype)
+                else:
+                    dtype = param.data.dtype
+                value = np.asarray(state[key], dtype=dtype)
+                if value.shape != param.data.shape:
+                    raise ValueError(
+                        f"shape mismatch for {key}: expected {param.data.shape}, "
+                        f"got {value.shape}"
+                    )
+                buffers[index] = value.copy()
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -53,6 +116,9 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _state_buffers(self) -> dict[str, tuple[list[np.ndarray], str | None]]:
+        return {"velocity": (self._velocity, None)}
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -89,7 +155,24 @@ class AdamW(Optimizer):
         self.weight_decay = weight_decay
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Second moments accumulate squared gradients over the whole run, so
+        # they live in the policy's accumulate dtype (float64 by default).
+        self._v = [
+            np.zeros(p.data.shape, dtype=accumulation_dtype(p.data.dtype))
+            for p in self.parameters
+        ]
+
+    def _state_buffers(self) -> dict[str, tuple[list[np.ndarray], str | None]]:
+        return {"m": (self._m, None), "v": (self._v, "accumulate")}
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state = super().state_dict()
+        state["step"] = np.asarray(self._step)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        super().load_state_dict(state)
+        self._step = int(state.get("step", 0))
 
     def step(self) -> None:
         self._step += 1
@@ -103,12 +186,13 @@ class AdamW(Optimizer):
             m *= beta1
             m += (1.0 - beta1) * grad
             v *= beta2
-            v += (1.0 - beta2) * grad**2
+            v += (1.0 - beta2) * np.square(grad, dtype=v.dtype)
             m_hat = m / bias1
             v_hat = v / bias2
             if self.weight_decay:
                 param.data -= self.lr * self.weight_decay * param.data
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            denom = np.sqrt(v_hat).astype(param.data.dtype, copy=False) + self.eps
+            param.data -= self.lr * m_hat / denom
 
 
 class ConstantSchedule:

@@ -27,6 +27,13 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "DtypePolicy",
+    "FLOAT32_POLICY",
+    "FLOAT64_POLICY",
+    "get_dtype_policy",
+    "set_dtype_policy",
+    "dtype_policy",
+    "accumulation_dtype",
     "get_default_dtype",
     "set_default_dtype",
 ]
@@ -35,10 +42,107 @@ __all__ = [
 # record the computation graph, which makes inference cheap.
 _GRAD_ENABLED = True
 
-# Global floating dtype used for all tensor data (float64 by default, float32
-# opt-in via :func:`set_default_dtype`).
-_DEFAULT_DTYPE = np.dtype(np.float64)
 _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+class DtypePolicy:
+    """A pair of floating dtypes governing how the nn stack computes.
+
+    ``compute`` is the dtype tensors are created with and elementwise work
+    (matmuls, exp/tanh, activations) runs in; ``accumulate`` is the dtype
+    long reductions are carried out in before being cast back to ``compute``.
+    The numerically delicate reductions — softmax / log-sum-exp denominators,
+    layer-norm moments, loss sums and Adam second moments — honour
+    ``accumulate`` so the default ``float32``/``float64`` policy keeps the
+    model within tolerance of a full-float64 run while doing the expensive
+    elementwise work in float32.
+
+    Instances are immutable; install one globally with
+    :func:`set_dtype_policy` or temporarily with the :func:`dtype_policy`
+    context manager.  :data:`FLOAT64_POLICY` is the escape hatch used by the
+    parity oracles (everything in float64, the pre-policy behaviour).
+    """
+
+    __slots__ = ("compute", "accumulate")
+
+    def __init__(self, compute="float32", accumulate="float64"):
+        compute = np.dtype(compute)
+        accumulate = np.dtype(accumulate)
+        for role, resolved in (("compute", compute), ("accumulate", accumulate)):
+            if resolved not in _ALLOWED_DTYPES:
+                raise ValueError(
+                    f"{role} dtype must be float32 or float64, got {resolved}"
+                )
+        if np.promote_types(compute, accumulate) != accumulate:
+            raise ValueError(
+                f"accumulate dtype {accumulate} must be at least as precise as "
+                f"compute dtype {compute}"
+            )
+        object.__setattr__(self, "compute", compute)
+        object.__setattr__(self, "accumulate", accumulate)
+
+    def __setattr__(self, name, value):  # pragma: no cover - immutability guard
+        raise AttributeError("DtypePolicy is immutable")
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DtypePolicy)
+            and self.compute == other.compute
+            and self.accumulate == other.accumulate
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.compute, self.accumulate))
+
+    def __repr__(self) -> str:
+        return f"DtypePolicy(compute={self.compute}, accumulate={self.accumulate})"
+
+
+#: Default policy: float32 elementwise work, float64 accumulation.
+FLOAT32_POLICY = DtypePolicy(np.float32, np.float64)
+#: Escape hatch for the parity oracles: everything in float64.
+FLOAT64_POLICY = DtypePolicy(np.float64, np.float64)
+
+_POLICY = FLOAT32_POLICY
+
+
+def get_dtype_policy() -> DtypePolicy:
+    """The policy new tensors and nn reductions currently follow."""
+    return _POLICY
+
+
+def set_dtype_policy(policy: DtypePolicy) -> DtypePolicy:
+    """Install ``policy`` globally; returns the previous policy.
+
+    Existing tensors are unaffected; only tensors created afterwards use the
+    new compute dtype (op outputs inherit the dtype of their inputs, so a
+    model built under one policy keeps running in it after a switch).
+    """
+    global _POLICY
+    if not isinstance(policy, DtypePolicy):
+        raise TypeError(f"expected a DtypePolicy, got {type(policy).__name__}")
+    previous = _POLICY
+    _POLICY = policy
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_policy(policy: DtypePolicy):
+    """Temporarily install ``policy`` (e.g. ``FLOAT64_POLICY`` for oracles)."""
+    previous = set_dtype_policy(policy)
+    try:
+        yield policy
+    finally:
+        set_dtype_policy(previous)
+
+
+def accumulation_dtype(dtype) -> np.dtype:
+    """Dtype reductions over arrays of ``dtype`` should accumulate in.
+
+    Never narrower than the input dtype, so a float64 model accumulates in
+    float64 even under a hypothetical all-float32 policy.
+    """
+    return np.promote_types(dtype, _POLICY.accumulate)
 
 
 def is_grad_enabled() -> bool:
@@ -59,30 +163,29 @@ def no_grad():
 
 
 def get_default_dtype() -> np.dtype:
-    """The floating dtype new tensors are created with."""
-    return _DEFAULT_DTYPE
+    """The floating dtype new tensors are created with (= policy compute dtype)."""
+    return _POLICY.compute
 
 
 def set_default_dtype(dtype) -> np.dtype:
-    """Set the global tensor dtype (``float32`` or ``float64``).
+    """Set the global compute dtype (``float32`` or ``float64``).
 
-    Returns the previous default so callers can restore it::
+    Compatibility wrapper over :func:`set_dtype_policy` from when float32 was
+    opt-in: installs a policy with the requested compute dtype and float64
+    accumulation, and returns the previous *compute* dtype so existing
+    save/restore call sites keep working::
 
-        previous = set_default_dtype(np.float32)
+        previous = set_default_dtype(np.float64)
         try:
             ...
         finally:
             set_default_dtype(previous)
-
-    Existing tensors are unaffected; only tensors created afterwards use the
-    new dtype.
     """
-    global _DEFAULT_DTYPE
     resolved = np.dtype(dtype)
     if resolved not in _ALLOWED_DTYPES:
         raise ValueError(f"default dtype must be float32 or float64, got {resolved}")
-    previous = _DEFAULT_DTYPE
-    _DEFAULT_DTYPE = resolved
+    previous = _POLICY.compute
+    set_dtype_policy(FLOAT64_POLICY if resolved == np.float64 else FLOAT32_POLICY)
     return previous
 
 
@@ -101,9 +204,10 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value) -> np.ndarray:
+    compute = _POLICY.compute
     if isinstance(value, np.ndarray):
-        return value if value.dtype == _DEFAULT_DTYPE else value.astype(_DEFAULT_DTYPE)
-    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+        return value if value.dtype == compute else value.astype(compute)
+    return np.asarray(value, dtype=compute)
 
 
 class Tensor:

@@ -127,8 +127,8 @@ class MiniDeBERTa(MiniBERT):
 
     # Distinct sequence lengths retained per cache; length-bucketed predict
     # can produce one padded length per bucket, so bound the growth with a
-    # cheap clear-at-cap policy.  Each value entry is O(heads * seq^2) float64
-    # (~2 MB at seq 256, 4 heads), so the cap is kept small.
+    # cheap clear-at-cap policy.  Each value entry is O(heads * seq^2) in the
+    # compute dtype (~1 MB at seq 256, 4 heads, float32), so the cap is small.
     _BIAS_CACHE_MAX = 16
 
     def _bias_indices(self, seq_len: int) -> np.ndarray:

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.experiments.config import PROFILES, ExperimentProfile, get_profile, load_resources
+from repro.experiments.config import PROFILES, get_profile, load_resources
 from repro.experiments.references import TABLE1_REFERENCE, TABLE2_REFERENCE
 from repro.experiments.reporting import ExperimentResult, format_table
 

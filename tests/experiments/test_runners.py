@@ -19,8 +19,8 @@ from repro.baselines import (
     TaBERTAnnotator,
 )
 from repro.core.annotator import KGLinkAnnotator
-from repro.data.corpus import CorpusSplits, TableCorpus
-from repro.experiments.config import ExperimentProfile, SharedResources, get_profile
+from repro.data.corpus import CorpusSplits
+from repro.experiments.config import SharedResources, get_profile
 from repro.experiments.runners import TABLE1_MODELS, build_annotator
 from repro.experiments import table3
 from repro.kg.linker import EntityLinker, LinkerConfig

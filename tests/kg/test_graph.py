@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.kg.graph import Entity, KnowledgeGraph, Predicates
+from repro.kg.graph import KnowledgeGraph, Predicates
 from repro.text.ner import EntitySchema
 
 

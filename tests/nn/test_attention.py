@@ -13,7 +13,7 @@ import pytest
 
 from repro import nn
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor, no_grad, set_default_dtype
+from repro.nn.tensor import FLOAT64_POLICY, Tensor, dtype_policy, no_grad, set_default_dtype
 
 from tests.nn.test_tensor import numerical_gradient
 
@@ -91,6 +91,13 @@ class TestForwardParity:
 
 
 class TestGradientParity:
+    @pytest.fixture(autouse=True)
+    def _float64_oracle(self):
+        # Central finite differences need float64; the fused-vs-unfused parity
+        # tests elsewhere in this module stay on the default float32 policy.
+        with dtype_policy(FLOAT64_POLICY):
+            yield
+
     def test_gradients_match_unfused_chain(self, rng):
         mask = _mask()
         grads = {}

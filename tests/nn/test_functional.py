@@ -1,4 +1,10 @@
-"""Tests of the fused functional operations (values and gradients)."""
+"""Tests of the fused functional operations (values and gradients).
+
+Runs under the float64 escape-hatch policy: the finite-difference gradchecks
+and the tight value tolerances here are the numerical oracle for the fused
+ops.  Float32 behaviour of the default policy is covered by
+tests/nn/test_dtype.py.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +12,15 @@ import numpy as np
 import pytest
 
 from repro.nn import functional as F
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import FLOAT64_POLICY, Tensor, dtype_policy
 
 from tests.nn.test_tensor import numerical_gradient
+
+
+@pytest.fixture(autouse=True)
+def _float64_oracle():
+    with dtype_policy(FLOAT64_POLICY):
+        yield
 
 
 def _numeric(build_loss, base, atol=1e-5):

@@ -138,7 +138,7 @@ class TestLayerNormModule:
     def test_normalises_last_dim(self, rng):
         layer = nn.LayerNorm(16)
         out = layer(Tensor(rng.normal(loc=5, scale=3, size=(4, 16))))
-        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-6)
 
 
 class TestDropoutModule:

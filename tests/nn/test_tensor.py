@@ -1,11 +1,29 @@
-"""Tests of the autograd tensor: values and gradients of every primitive."""
+"""Tests of the autograd tensor: values and gradients of every primitive.
+
+The whole module runs under the float64 escape-hatch policy: central finite
+differences (epsilon 1e-6) are meaningless in float32, and these tests are
+the numerical oracle for every primitive.  Float32 behaviour of the default
+policy is covered by tests/nn/test_dtype.py.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.nn.tensor import (
+    FLOAT64_POLICY,
+    Tensor,
+    dtype_policy,
+    is_grad_enabled,
+    no_grad,
+)
+
+
+@pytest.fixture(autouse=True)
+def _float64_oracle():
+    with dtype_policy(FLOAT64_POLICY):
+        yield
 
 
 def numerical_gradient(function, array: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:

@@ -1,0 +1,85 @@
+"""Float32 default vs float64 oracle parity for both PLM variants.
+
+The dtype policy's contract is that the float32 compute dtype (with float64
+accumulation in the delicate reductions) stays numerically close to a full
+float64 run.  These tests build identically-seeded encoders under both
+policies and bound the drift of the forward pass and of one training step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.optim import AdamW
+from repro.nn.tensor import FLOAT64_POLICY, dtype_policy, no_grad
+from repro.plm.config import PLMConfig
+from repro.plm.model import MiniBERT, MiniDeBERTa, create_encoder
+
+
+def _config(relative: bool = False) -> PLMConfig:
+    config = PLMConfig(vocab_size=400, hidden_size=32, num_layers=2, num_heads=4,
+                       intermediate_size=64, max_position_embeddings=64, seed=11)
+    return config.as_deberta() if relative else config
+
+
+def _forward(encoder_cls, relative: bool) -> np.ndarray:
+    encoder = encoder_cls(_config(relative))
+    encoder.eval()
+    rng = np.random.default_rng(3)
+    token_ids = rng.integers(0, 400, size=(2, 40))
+    mask = np.ones_like(token_ids, dtype=bool)
+    mask[1, 30:] = False
+    with no_grad():
+        return np.asarray(encoder(token_ids, attention_mask=mask).data, dtype=np.float64)
+
+
+@pytest.mark.parametrize(
+    "encoder_cls,relative",
+    [(MiniBERT, False), (MiniDeBERTa, True)],
+    ids=["minibert", "minideberta"],
+)
+class TestForwardParity:
+    def test_float32_forward_tracks_float64_oracle(self, encoder_cls, relative):
+        hidden32 = _forward(encoder_cls, relative)
+        with dtype_policy(FLOAT64_POLICY):
+            hidden64 = _forward(encoder_cls, relative)
+        assert np.isfinite(hidden32).all()
+        # Layer-normed activations are O(1); 1e-3 absolute drift over two
+        # encoder layers is the same bound the trainer smoke test uses.
+        np.testing.assert_allclose(hidden32, hidden64, atol=1e-3)
+
+    def test_factory_matches_variant(self, encoder_cls, relative):
+        encoder = create_encoder(_config(relative))
+        assert isinstance(encoder, encoder_cls)
+        for param in encoder.parameters():
+            assert param.data.dtype == np.float32
+
+
+class TestTrainStepParity:
+    @staticmethod
+    def _loss_after_step(relative: bool) -> float:
+        encoder = create_encoder(_config(relative))
+        optimizer = AdamW(encoder.parameters(), lr=1e-3)
+        rng = np.random.default_rng(7)
+        token_ids = rng.integers(0, 400, size=(2, 32))
+        mask = np.ones_like(token_ids, dtype=bool)
+        targets = rng.integers(0, 400, size=(2 * 32,))
+
+        hidden = encoder(token_ids, attention_mask=mask)
+        logits = encoder.vocabulary_logits(hidden)
+        flat = logits.reshape(-1, 400)
+        loss = F.cross_entropy(flat, targets)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    @pytest.mark.parametrize("relative", [False, True], ids=["minibert", "minideberta"])
+    def test_training_step_loss_within_tolerance(self, relative):
+        loss32 = self._loss_after_step(relative)
+        with dtype_policy(FLOAT64_POLICY):
+            loss64 = self._loss_after_step(relative)
+        assert np.isfinite(loss32)
+        assert loss32 == pytest.approx(loss64, rel=1e-3, abs=1e-3)

@@ -13,7 +13,6 @@ import pytest
 from repro.baselines import MTabAnnotator
 from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
 from repro.core.pipeline import KGCandidateExtractor, Part1Config
-from repro.data.corpus import TableCorpus
 
 
 SMALL_CONFIG = dict(

@@ -65,19 +65,24 @@ class TestTensorProperties:
         logits = np.asarray(rows, dtype=np.float64)
         probabilities = F.softmax(Tensor(logits)).data
         assert np.all(probabilities >= 0)
-        np.testing.assert_allclose(probabilities.sum(axis=-1), np.ones(len(rows)), atol=1e-9)
+        np.testing.assert_allclose(probabilities.sum(axis=-1), np.ones(len(rows)), atol=1e-6)
 
     @given(st.lists(small_floats, min_size=2, max_size=8), st.integers(min_value=0, max_value=7))
     def test_cross_entropy_non_negative(self, row, target_index):
         target_index = target_index % len(row)
         logits = Tensor(np.asarray([row], dtype=np.float64))
         loss = F.cross_entropy(logits, np.array([target_index]))
-        assert float(loss.data) >= -1e-12
+        assert float(loss.data) >= -1e-6
 
     @given(st.lists(small_floats, min_size=1, max_size=20))
     def test_sum_matches_numpy(self, values):
+        # atol covers float32 rounding of the compute dtype: storage plus
+        # pairwise-summation error with partial sums up to 20 * 50 = 1000,
+        # including cancellation that makes rtol alone meaningless.
         array = np.asarray(values, dtype=np.float64)
-        np.testing.assert_allclose(float(Tensor(array).sum().data), array.sum(), rtol=1e-12)
+        np.testing.assert_allclose(
+            float(Tensor(array).sum().data), array.sum(), rtol=1e-6, atol=1e-3
+        )
 
     @given(st.lists(small_floats, min_size=1, max_size=20))
     def test_addition_commutative(self, values):
