@@ -11,9 +11,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
 from repro.core.model import KGLinkModel
 from repro.core.pipeline import KGCandidateExtractor, Part1Config
-from repro.kg.bm25 import BM25Index
+from repro.data.corpus import TableCorpus
+from repro.kg.backends import BM25Index
 from repro.kg.linker import EntityLinker, LinkerConfig
 from repro.nn import functional as F
 from repro.nn.layers import MultiHeadSelfAttention
@@ -152,6 +154,48 @@ def test_attention_unfused(benchmark):
     layer.fused = False
     out = benchmark(lambda: layer(x, attention_mask=mask))
     assert out.shape == x.shape
+
+
+@pytest.fixture(scope="module")
+def serving(resources):
+    """A tiny trained service plus the tables it is benchmarked on.
+
+    The Part-1 cache is pre-warmed so both serving benchmarks measure the
+    Part-2 micro-batching path (Part-1 cost is identical per table in both
+    request shapes).
+    """
+    config = KGLinkConfig(
+        epochs=1, batch_size=8, learning_rate=1e-3, pretrain_steps=4,
+        hidden_size=32, num_layers=1, num_heads=2, intermediate_size=48,
+        top_k_rows=6, max_tokens_per_column=14, vocab_size=1200,
+        max_position_embeddings=160, max_feature_tokens=10,
+    )
+    annotator = KGLinkAnnotator(resources.world.graph, config, linker=resources.linker)
+    tables = resources.semtab.tables
+    train = TableCorpus("train", tables[:10], resources.semtab.label_vocabulary)
+    annotator.fit(train)
+    service = annotator.into_service(max_batch=16)
+    serve_tables = tables[10:34]
+    service.annotate_batch(serve_tables)  # warm the Part-1 cache
+    return service, serve_tables
+
+
+def test_service_annotate_loop(benchmark, serving):
+    service, tables = serving
+    results = benchmark(lambda: [service.annotate(table) for table in tables])
+    assert len(results) == len(tables)
+
+
+def test_service_annotate_batch(benchmark, serving):
+    service, tables = serving
+    results = benchmark(lambda: service.annotate_batch(tables))
+    assert len(results) == len(tables)
+
+
+def test_service_annotate_stream(benchmark, serving):
+    service, tables = serving
+    results = benchmark(lambda: list(service.annotate_stream(tables, max_batch=8)))
+    assert len(results) == len(tables)
 
 
 def test_training_step(benchmark):

@@ -3,14 +3,15 @@
 
 The workflow a downstream user would follow:
 
-1. train KGLink once on a labelled corpus and save it to disk
-   (:func:`repro.core.save_annotator`);
-2. later — possibly in another process — reload the annotator
-   (:func:`repro.core.load_annotator`) and run it on CSV files that were never
-   part of the training corpus (:func:`repro.data.table_from_csv`).
+1. train KGLink once on a labelled corpus and export it as a self-contained
+   service bundle (``annotator.into_service().save(...)``);
+2. later — possibly in another process, with no knowledge graph at hand —
+   load the bundle (:meth:`repro.serve.AnnotationService.load`) and run it on
+   CSV files that were never part of the training corpus
+   (:func:`repro.data.table_from_csv`).
 
 The script writes a few held-out tables to a temporary directory as CSV files,
-reloads the persisted model and prints the predicted column types next to the
+reloads the persisted bundle and prints the predicted column types next to the
 ground truth.
 
 Run with::
@@ -23,9 +24,10 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro.core import KGLinkAnnotator, KGLinkConfig, load_annotator, save_annotator
+from repro.core import KGLinkAnnotator, KGLinkConfig
 from repro.data import SemTabConfig, SemTabGenerator, stratified_split, table_from_csv, table_to_csv
 from repro.kg import KGWorldConfig, build_default_kg
+from repro.serve import AnnotationService
 
 
 def main() -> None:
@@ -44,8 +46,8 @@ def main() -> None:
                      top_k_rows=10),
     )
     annotator.fit(splits.train, splits.validation)
-    model_dir = save_annotator(annotator, workdir / "kglink-model")
-    print(f"   saved to {model_dir}")
+    bundle_dir = annotator.into_service().save(workdir / "kglink-bundle")
+    print(f"   saved bundle to {bundle_dir}")
 
     print("3) exporting a few held-out tables as CSV files ...")
     csv_paths = []
@@ -54,11 +56,11 @@ def main() -> None:
         csv_paths.append(path)
         print(f"   wrote {path.name} ({table.n_rows} rows, {table.n_columns} columns)")
 
-    print("4) reloading the persisted model and annotating the CSV files ...")
-    restored = load_annotator(model_dir, world.graph)
+    print("4) loading the bundle (no graph needed) and annotating the CSV files ...")
+    service = AnnotationService.load(bundle_dir)
     for path in csv_paths:
         table = table_from_csv(path)
-        predictions = restored.annotate(table)
+        predictions = service.annotate(table)
         print(f"\n   {path.name}")
         for column, predicted in zip(table.columns, predictions):
             preview = ", ".join(cell for cell in column.cells[:3] if cell)

@@ -67,8 +67,12 @@ RETRIEVAL_METRICS = [
     Metric("bm25.finalize_seconds", higher_is_better=False, is_ratio=False),
     Metric("bm25.vector_search_ms_per_query", higher_is_better=False, is_ratio=False),
     Metric("linker.batch_mentions_per_second", higher_is_better=True, is_ratio=False),
+    Metric("serving.tables_per_second_batch", higher_is_better=True, is_ratio=False),
     Metric("bm25.search_speedup", higher_is_better=True, is_ratio=True),
     Metric("linker.engine_speedup", higher_is_better=True, is_ratio=True),
+    # annotate_batch vs a one-table annotate() loop on the same warmed
+    # service: a within-run speedup, hardware-independent, gated on CI.
+    Metric("serving.batch_vs_loop_speedup", higher_is_better=True, is_ratio=True),
 ]
 
 

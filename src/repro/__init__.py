@@ -24,6 +24,9 @@ The package is organised as a set of substrates plus the core method:
 ``repro.core``
     The KGLink method itself: Part 1 (KG candidate-type extraction) and
     Part 2 (multi-task deep-learning model), plus the end-to-end annotator.
+``repro.serve``
+    The serving-first API: self-contained model bundles and the
+    ``AnnotationService`` front door for annotating tables at volume.
 ``repro.baselines``
     Reimplementations of the baselines the paper compares against.
 ``repro.experiments``
@@ -36,6 +39,7 @@ from repro.core.pipeline import KGCandidateExtractor, Part1Config
 from repro.data.table import Column, Table
 from repro.data.corpus import TableCorpus
 from repro.kg.graph import KnowledgeGraph
+from repro.serve import AnnotationService, ServiceBundle, ServiceStats
 
 __all__ = [
     "__version__",
@@ -47,4 +51,7 @@ __all__ = [
     "Table",
     "TableCorpus",
     "KnowledgeGraph",
+    "AnnotationService",
+    "ServiceBundle",
+    "ServiceStats",
 ]

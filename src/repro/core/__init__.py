@@ -9,6 +9,7 @@ uncertainty-weighted adaptive loss.  :class:`repro.core.annotator.KGLinkAnnotato
 is the end-to-end public API.
 """
 
+from repro.core.cache import CacheInfo, LRUCache
 from repro.core.pipeline import (
     ColumnKGInfo,
     KGCandidateExtractor,
@@ -24,6 +25,8 @@ from repro.core.persistence import load_annotator, save_annotator
 __all__ = [
     "save_annotator",
     "load_annotator",
+    "CacheInfo",
+    "LRUCache",
     "Part1Config",
     "KGCandidateExtractor",
     "ProcessedTable",

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, replace
 
 
+from repro.core.cache import CacheInfo, LRUCache
 from repro.core.model import KGLinkModel
 from repro.core.pipeline import KGCandidateExtractor, Part1Config, ProcessedTable
 from repro.core.serialization import SerializerConfig, TableSerializer
@@ -70,6 +71,8 @@ class KGLinkConfig:
     max_tokens_per_column: int = 28
     max_columns: int = 8
     max_feature_tokens: int = 20
+    # Part-1 processed-table cache (LRU; <= 0 disables caching)
+    processed_cache_size: int = 4096
     # Training
     epochs: int = 5
     batch_size: int = 16
@@ -175,7 +178,11 @@ class KGLinkAnnotator:
         self.fit_seconds: float = 0.0
         self.part1_seconds: float = 0.0
         self.inference_seconds: float = 0.0
-        self._processed_cache: dict[str, ProcessedTable] = {}
+        # Bounded Part-1 cache (the serving layer uses the same LRU class), so
+        # a long-lived annotator no longer grows without limit.
+        self._processed_cache: LRUCache[str, ProcessedTable] = LRUCache(
+            maxsize=self.config.processed_cache_size
+        )
 
     # ------------------------------------------------------------------ #
     # internal helpers
@@ -186,9 +193,13 @@ class KGLinkAnnotator:
             cached = self._processed_cache.get(table.table_id)
             if cached is None:
                 cached = self.extractor.process_table(table)
-                self._processed_cache[table.table_id] = cached
+                self._processed_cache.put(table.table_id, cached)
             processed.append(cached)
         return processed
+
+    def processed_cache_info(self) -> CacheInfo:
+        """Hit/miss/eviction counters of the Part-1 processed-table cache."""
+        return self._processed_cache.cache_info()
 
     def _corpus_texts(self, corpus: TableCorpus) -> list[str]:
         """Texts used to train the tokenizer and pre-train the encoder."""
@@ -285,3 +296,19 @@ class KGLinkAnnotator:
         """Part-1 link statistics for ``corpus`` (the paper's Table III)."""
         processed = self._process(corpus.tables)
         return self.extractor.link_statistics(processed)
+
+    def into_service(self, max_batch: int = 16, cache_size: int = 1024):
+        """Export this fitted annotator as a serving-shaped front door.
+
+        Returns a :class:`~repro.serve.service.AnnotationService` built on an
+        in-memory :class:`~repro.serve.bundle.ServiceBundle`: the compiled
+        retrieval index, a graph snapshot, the tokenizer, the label
+        vocabulary and the model weights — everything ``bundle.save()``
+        would persist.  The annotator keeps working as the training facade.
+        """
+        from repro.serve.bundle import ServiceBundle
+        from repro.serve.service import AnnotationService
+
+        return AnnotationService(
+            ServiceBundle.from_annotator(self), max_batch=max_batch, cache_size=cache_size
+        )

@@ -1,0 +1,91 @@
+"""A bounded LRU mapping shared by the annotator and the serving layer.
+
+Both :class:`~repro.core.annotator.KGLinkAnnotator` and
+:class:`~repro.serve.service.AnnotationService` memoise Part-1 processed
+tables keyed by table id.  The seed kept that cache in an unbounded dict,
+which grows for the life of the object — fatal for a long-lived serving
+process.  :class:`LRUCache` bounds it with least-recently-used eviction and
+exposes hit/miss/eviction counters for telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, NamedTuple, TypeVar
+
+__all__ = ["CacheInfo", "LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class CacheInfo(NamedTuple):
+    """Counters in the shape of ``functools.lru_cache``'s ``cache_info()``."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+    evictions: int
+
+
+class LRUCache(Generic[K, V]):
+    """An ``OrderedDict``-backed LRU cache with statistics.
+
+    ``get`` refreshes recency and counts a hit or miss; ``put`` inserts (or
+    refreshes) a key and evicts the least recently used entry once ``maxsize``
+    is exceeded.  ``maxsize <= 0`` disables caching entirely (every ``put``
+    is dropped), which keeps call sites free of conditionals.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value (refreshing recency) or ``default``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert ``key`` and evict the least recently used overflow."""
+        if self.maxsize <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        # Membership is a pure probe: no recency refresh, no stat updates.
+        return key in self._data
+
+    def clear(self) -> None:
+        """Drop all entries; the counters keep accumulating."""
+        self._data.clear()
+
+    def cache_info(self) -> CacheInfo:
+        """Current counters (hits, misses, maxsize, currsize, evictions)."""
+        return CacheInfo(
+            hits=self.hits,
+            misses=self.misses,
+            maxsize=self.maxsize,
+            currsize=len(self._data),
+            evictions=self.evictions,
+        )

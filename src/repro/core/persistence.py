@@ -1,22 +1,26 @@
-"""Saving and loading fitted KGLink annotators.
+"""Deprecated: saving and loading fitted annotators (use :mod:`repro.serve`).
 
-A fitted :class:`~repro.core.annotator.KGLinkAnnotator` consists of
+``save_annotator``/``load_annotator`` predate the serving-first API; they are
+kept as thin shims over :class:`~repro.serve.bundle.ServiceBundle` so
+existing call sites keep working:
 
-* the pipeline configuration (:class:`~repro.core.annotator.KGLinkConfig`),
-* the label vocabulary of the dataset it was trained on,
-* the learned tokenizer vocabulary, and
-* the model weights (encoder + heads).
+* :func:`save_annotator` writes a full service bundle (manifest, weights,
+  compiled retrieval index, graph snapshot);
+* :func:`load_annotator` reads either a modern bundle or a legacy
+  format-1 directory, and reconstructs a :class:`KGLinkAnnotator` against a
+  caller-supplied graph.  For modern bundles the retrieval index is restored
+  from its compiled arrays instead of being rebuilt from the graph — the
+  rebuild-on-every-load behaviour of the legacy format is gone.
 
-``save_annotator`` writes all of these into a directory;``load_annotator``
-reconstructs an annotator against a knowledge graph (the graph itself is not
-serialised — it is a substrate the caller already has — but its identity is
-checked loosely through the entity count recorded in the manifest).
+New code that only needs to *serve* predictions should use
+:meth:`~repro.serve.service.AnnotationService.load`, which needs no graph at
+all.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
+import warnings
 from pathlib import Path
 
 from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
@@ -25,54 +29,86 @@ from repro.core.serialization import TableSerializer
 from repro.core.trainer import KGLinkTrainer
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.linker import EntityLinker
-from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.serialization import load_state_dict
 from repro.plm.model import create_encoder
-from repro.text.tokenizer import WordPieceTokenizer
-from repro.text.vocab import Vocabulary
 
 __all__ = ["save_annotator", "load_annotator"]
 
 _MANIFEST = "manifest.json"
 _WEIGHTS = "model.npz"
+_LEGACY_FORMAT = 1
 
 
 def save_annotator(annotator: KGLinkAnnotator, directory: str | Path) -> Path:
-    """Persist a fitted annotator to ``directory``; returns the directory path."""
+    """Deprecated shim: persist ``annotator`` as a service bundle.
+
+    Prefer ``annotator.into_service().save(directory)`` (or
+    :meth:`~repro.serve.bundle.ServiceBundle.from_annotator` directly).
+    """
+    from repro.serve.bundle import ServiceBundle
+
+    warnings.warn(
+        "save_annotator is deprecated; use ServiceBundle.from_annotator(...).save(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if annotator.model is None or annotator.tokenizer is None:
         raise RuntimeError("only fitted annotators can be saved")
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-
-    manifest = {
-        "format_version": 1,
-        "config": dataclasses.asdict(annotator.config),
-        "label_vocabulary": annotator.label_vocabulary,
-        "tokenizer_tokens": list(annotator.tokenizer.vocabulary),
-        "graph_entities": len(annotator.graph),
-    }
-    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
-    save_state_dict(annotator.model.state_dict(), directory / _WEIGHTS)
-    return directory
+    return ServiceBundle.from_annotator(annotator).save(directory)
 
 
 def load_annotator(directory: str | Path, graph: KnowledgeGraph,
                    linker: EntityLinker | None = None) -> KGLinkAnnotator:
-    """Reconstruct a fitted annotator from ``directory`` against ``graph``."""
+    """Deprecated shim: reconstruct a fitted annotator from ``directory``.
+
+    Prefer :meth:`~repro.serve.service.AnnotationService.load`, which serves
+    from the bundle alone.  This shim exists for callers that want the
+    training facade back against a live ``graph`` — e.g. to keep fitting.
+    Modern bundles restore the compiled retrieval index instead of
+    re-indexing the graph; legacy format-1 directories (no bundled index)
+    fall back to the old rebuild.
+    """
+    from repro.serve.bundle import (
+        BUNDLE_FORMAT_VERSION,
+        ServiceBundle,
+        tokenizer_from_tokens,
+    )
+
+    warnings.warn(
+        "load_annotator is deprecated; use AnnotationService.load for serving "
+        "or ServiceBundle.load for the raw components",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     directory = Path(directory)
     manifest = json.loads((directory / _MANIFEST).read_text())
-    if manifest.get("format_version") != 1:
-        raise ValueError(f"unsupported annotator format {manifest.get('format_version')!r}")
+    version = manifest.get("format_version")
 
+    if version == BUNDLE_FORMAT_VERSION:
+        bundle = ServiceBundle.load(directory)
+        if linker is None:
+            linker = EntityLinker(graph, bundle.linker_config, index=bundle.backend)
+        annotator = KGLinkAnnotator(graph, bundle.config, linker=linker,
+                                    tokenizer=bundle.tokenizer)
+        annotator.label_vocabulary = list(bundle.label_vocabulary)
+        annotator.model = bundle.model
+        annotator.model.eval()
+        annotator.serializer = TableSerializer(
+            bundle.tokenizer, bundle.config.serializer_config()
+        )
+        annotator.trainer = KGLinkTrainer(
+            annotator.model, annotator.serializer, annotator.label_vocabulary,
+            bundle.config.training_config(),
+        )
+        return annotator
+
+    if version != _LEGACY_FORMAT:
+        raise ValueError(f"unsupported annotator format {version!r}")
+
+    # Legacy format 1: no bundled index or snapshot; rebuild from the graph.
     config = KGLinkConfig(**manifest["config"])
     annotator = KGLinkAnnotator(graph, config, linker=linker)
-
-    # Rebuild the tokenizer from the stored token list.  The first five tokens
-    # are the special tokens, which the Vocabulary constructor re-adds itself.
-    tokens = manifest["tokenizer_tokens"]
-    specials = Vocabulary().specials
-    plain_tokens = [token for token in tokens if token not in set(specials.as_tuple())]
-    annotator.tokenizer = WordPieceTokenizer(Vocabulary(plain_tokens, specials=specials))
-
+    annotator.tokenizer = tokenizer_from_tokens(manifest["tokenizer_tokens"])
     encoder = create_encoder(config.plm_config(vocab_size=annotator.tokenizer.vocab_size))
     annotator.label_vocabulary = list(manifest["label_vocabulary"])
     annotator.model = KGLinkModel(

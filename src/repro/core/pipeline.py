@@ -29,6 +29,7 @@ import numpy as np
 from repro.data.table import Column, Table
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.linker import EntityLink, EntityLinker, LinkerConfig
+from repro.kg.snapshot import KGSnapshot
 from repro.text.ner import EntitySchema, detect_schema
 
 __all__ = [
@@ -124,11 +125,18 @@ class ProcessedTable:
 
 
 class KGCandidateExtractor:
-    """Runs Part 1 of KGLink against a knowledge graph."""
+    """Runs Part 1 of KGLink against a knowledge graph.
+
+    ``graph`` may be a full :class:`~repro.kg.graph.KnowledgeGraph` or the
+    serialisable :class:`~repro.kg.snapshot.KGSnapshot` a service bundle
+    ships — the extractor only touches the entity/one-hop-neighbourhood
+    surface both expose.  Retrieval goes through ``linker``, which talks to
+    any :class:`~repro.kg.backends.RetrievalBackend`.
+    """
 
     def __init__(
         self,
-        graph: KnowledgeGraph,
+        graph: KnowledgeGraph | KGSnapshot,
         config: Part1Config | None = None,
         linker: EntityLinker | None = None,
     ):

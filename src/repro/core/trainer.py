@@ -32,7 +32,7 @@ from repro.data.metrics import EvaluationResult, evaluate_predictions
 from repro.nn import functional as F
 from repro.nn.losses import DMLMLoss, FixedWeightLoss, UncertaintyWeightedLoss
 from repro.nn.optim import AdamW, LinearDecaySchedule, clip_grad_norm
-from repro.nn.tensor import no_grad
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
 
 __all__ = ["TrainingConfig", "TrainingHistory", "PreparedExample", "KGLinkTrainer"]
 
@@ -225,6 +225,43 @@ class KGLinkTrainer:
     # ------------------------------------------------------------------ #
     # forward passes
     # ------------------------------------------------------------------ #
+    #: Rows per bucketed feature-encoder call (inference path).
+    FEATURE_BUCKET_SIZE = 64
+
+    def _feature_vectors(self, features: np.ndarray, feature_attention: np.ndarray):
+        """Per-column feature vectors, length-bucketed on the inference path.
+
+        The serializer pads every column's feature block to the global
+        ``max_feature_tokens`` width; most feature sequences are much
+        shorter.  Under ``no_grad`` the column rows are sorted by true length
+        and encoded in chunks trimmed to each chunk's own maximum, then
+        restored to the original order — the encoder attention-masks padding,
+        so the vectors match the single full-width call up to float32
+        blocking noise (predictions are invariant).  Training keeps that
+        single call so the dropout draws (and thus seeded training
+        trajectories) are unchanged.
+        """
+        if (
+            self.model.training
+            or is_grad_enabled()
+            or features.shape[0] <= 1
+        ):
+            return self.model.feature_vectors(features, feature_attention)
+        lengths = feature_attention.sum(axis=1).astype(np.int64)
+        order = np.argsort(lengths, kind="stable")
+        chunks: list[np.ndarray] = []
+        for start in range(0, len(order), self.FEATURE_BUCKET_SIZE):
+            idx = order[start : start + self.FEATURE_BUCKET_SIZE]
+            width = max(int(lengths[idx].max()), 1)
+            out = self.model.feature_vectors(
+                features[idx, :width], feature_attention[idx, :width]
+            )
+            chunks.append(out.data)
+        stacked = np.concatenate(chunks, axis=0)
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[order] = np.arange(len(order))
+        return Tensor(stacked[inverse])
+
     def _classification_forward(self, batch: list[PreparedExample], flat: dict):
         token_ids, attention = self._pad_batch([example.masked for example in batch])
         hidden = self.model.encode(token_ids, attention)
@@ -233,7 +270,7 @@ class KGLinkTrainer:
         )
         feature_vectors = None
         if self.config.use_feature_vector and flat["features"] is not None:
-            feature_vectors = self.model.feature_vectors(
+            feature_vectors = self._feature_vectors(
                 flat["features"], flat["feature_attention"]
             )
         combined = self.model.compose(cls_vectors, feature_vectors)

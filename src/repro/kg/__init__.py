@@ -6,20 +6,34 @@ the same capabilities entirely in memory:
 
 * :class:`~repro.kg.graph.KnowledgeGraph` — entities with labels, aliases and
   descriptions, predicates, typed triples and one-hop neighbourhood queries.
-* :class:`~repro.kg.bm25.BM25Index` — an Okapi BM25 inverted index over the
-  entity documents (label + aliases + description), implementing Eq. 1–2 of
-  the paper.
+* :mod:`~repro.kg.backends` — pluggable retrieval engines behind the
+  :class:`~repro.kg.backends.RetrievalBackend` protocol: an Okapi BM25
+  inverted index over the entity documents (label + aliases + description,
+  Eq. 1–2 of the paper) and a character-n-gram embedding retriever.
 * :class:`~repro.kg.linker.EntityLinker` — mention → candidate-entity linking
   that applies the named-entity schema filter (numbers and dates are never
-  linked) before querying the index.
+  linked) before querying the backend.
+* :class:`~repro.kg.snapshot.KGSnapshot` — a serialisable read-only view of
+  the graph slice Part 1 needs, used by serving bundles.
 * :class:`~repro.kg.builder.SyntheticKGBuilder` — constructs a synthetic
   WikiData-like world (people with occupations, films, proteins, cities,
   teams, ...) with the type-hierarchy structure the paper's Part 1 relies on.
 """
 
 from repro.kg.graph import Entity, KnowledgeGraph, Predicates, Triple
-from repro.kg.bm25 import BM25Index, BM25Parameters, SearchHit
+from repro.kg.backends import (
+    BM25Index,
+    BM25Parameters,
+    CharNGramIndex,
+    RetrievalBackend,
+    SearchHit,
+    create_backend,
+    backend_from_documents,
+    register_backend,
+    restore_backend,
+)
 from repro.kg.linker import EntityLink, EntityLinker, LinkerConfig
+from repro.kg.snapshot import KGSnapshot
 from repro.kg.builder import KGWorldConfig, SyntheticKGBuilder, build_default_kg
 
 __all__ = [
@@ -29,10 +43,17 @@ __all__ = [
     "Triple",
     "BM25Index",
     "BM25Parameters",
+    "CharNGramIndex",
+    "RetrievalBackend",
     "SearchHit",
+    "create_backend",
+    "backend_from_documents",
+    "register_backend",
+    "restore_backend",
     "EntityLink",
     "EntityLinker",
     "LinkerConfig",
+    "KGSnapshot",
     "KGWorldConfig",
     "SyntheticKGBuilder",
     "build_default_kg",

@@ -1,0 +1,723 @@
+"""Pluggable retrieval backends behind one protocol.
+
+The entity linker (and everything above it) talks to retrieval exclusively
+through the :class:`RetrievalBackend` protocol:
+
+* ``add_document(doc_id, text)`` — index one document,
+* ``finalize()`` — compile the index for querying (idempotent, invalidated by
+  further ``add_document`` calls),
+* ``search(query, top_k)`` / ``search_batch(queries, top_k)`` — ranked
+  retrieval with the deterministic ``(-score, doc_id)`` tie-break,
+* ``export_state()`` / ``from_state(state)`` — round-trip the *compiled*
+  arrays through a ``dict[str, np.ndarray]`` so a serving process can load an
+  index from a bundle without the original documents or a rebuild.  A backend
+  restored this way is frozen: it serves searches but rejects
+  ``add_document`` (the builder-side structures are deliberately not
+  serialised).
+
+Two implementations ship here and both must pass the shared conformance suite
+(``tests/kg/test_backends.py``):
+
+* :class:`BM25Index` — the Okapi BM25 inverted index compiled to CSR arrays
+  (moved from ``repro.kg.bm25``, which remains as a compatibility shim).
+* :class:`CharNGramIndex` — a character-n-gram hashed-embedding retriever:
+  documents and queries are embedded into a fixed-dimension count vector of
+  hashed character n-grams and ranked by cosine similarity, which tolerates
+  typos and partial mentions BM25's exact term match cannot.
+
+Backends register themselves under a ``backend_name`` so bundles can record
+which implementation produced an index and :func:`create_backend` /
+:func:`restore_backend` can reconstruct it by name.
+
+The ``dtype`` knob selects the dtype of the score-carrying arrays (BM25's
+postings impacts, the n-gram embedding matrix).  ``float64`` (the BM25
+default) keeps bitwise parity with the scalar oracle; ``float32`` halves the
+index's memory traffic while preserving the deterministic tie-break (scores
+are still accumulated in a float64 buffer).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import ClassVar, Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.text.tokenizer import basic_tokenize
+
+__all__ = [
+    "BM25Parameters",
+    "SearchHit",
+    "RetrievalBackend",
+    "BM25Index",
+    "CharNGramIndex",
+    "register_backend",
+    "create_backend",
+    "restore_backend",
+    "backend_from_documents",
+    "reference_search",
+]
+
+
+@dataclass(frozen=True)
+class BM25Parameters:
+    """The two tunable Okapi BM25 parameters (Elasticsearch defaults)."""
+
+    k1: float = 1.2
+    b: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0.0 <= self.b <= 1.0:
+            raise ValueError("b must lie in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """A retrieval result: document (entity) id and its retrieval score."""
+
+    doc_id: str
+    score: float
+
+
+@runtime_checkable
+class RetrievalBackend(Protocol):
+    """What the entity linker requires of a retrieval engine.
+
+    Implementations must rank by ``(-score, doc_id)`` (ties broken by the
+    lexicographically smaller document id), return only strictly positive
+    scores, and support the compiled-state round trip used by service
+    bundles.
+    """
+
+    backend_name: ClassVar[str]
+
+    def add_document(self, doc_id: str, text: str) -> None: ...
+
+    def finalize(self) -> None: ...
+
+    @property
+    def is_finalized(self) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, doc_id: str) -> bool: ...
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchHit]: ...
+
+    def search_batch(self, queries: Sequence[str], top_k: int = 10
+                     ) -> list[list[SearchHit]]: ...
+
+    def export_state(self) -> dict[str, np.ndarray]: ...
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "RetrievalBackend": ...
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_BACKENDS: dict[str, type] = {}
+
+
+def register_backend(cls):
+    """Register a backend class under its ``backend_name`` (decorator-friendly)."""
+    name = getattr(cls, "backend_name", None)
+    if not name:
+        raise ValueError(f"{cls!r} must define a non-empty backend_name")
+    _BACKENDS[name] = cls
+    return cls
+
+
+def create_backend(name: str, **kwargs) -> RetrievalBackend:
+    """Instantiate a registered backend by name (kwargs go to its constructor)."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown retrieval backend {name!r}; registered: {sorted(_BACKENDS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def restore_backend(name: str, state: dict[str, np.ndarray]) -> RetrievalBackend:
+    """Reconstruct a backend of type ``name`` from exported compiled state."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown retrieval backend {name!r}; registered: {sorted(_BACKENDS)}"
+        ) from None
+    return cls.from_state(state)
+
+
+def backend_from_documents(documents: Iterable[tuple[str, str]], name: str = "bm25",
+                           **kwargs) -> RetrievalBackend:
+    """Build and finalize a backend over ``(doc_id, text)`` pairs."""
+    backend = create_backend(name, **kwargs)
+    for doc_id, text in documents:
+        backend.add_document(doc_id, text)
+    backend.finalize()
+    return backend
+
+
+def _as_str_array(values: Sequence[str]) -> np.ndarray:
+    return np.asarray(list(values), dtype=np.str_)
+
+
+def _doc_ranks(doc_ids: list[str]) -> np.ndarray:
+    """Lexicographic rank of each doc id (for the tie-break without strings)."""
+    ranks = np.empty(len(doc_ids), dtype=np.int64)
+    ranks[np.argsort(np.asarray(doc_ids, dtype=object))] = np.arange(len(doc_ids))
+    return ranks
+
+
+def _normalize_term(term: str) -> str:
+    """The single normalization applied to terms entering or querying an index.
+
+    ``basic_tokenize`` already lower-cases, so document-side tokens pass
+    through unchanged; user-supplied raw terms (``document_frequency``,
+    ``idf``) are folded to the same form here rather than ad hoc at call
+    sites.
+    """
+    return term.lower()
+
+
+def _select_top_hits(candidates: np.ndarray, candidate_scores: np.ndarray,
+                     doc_ranks: np.ndarray, doc_ids: list[str],
+                     top_k: int) -> list[SearchHit]:
+    """Rank candidate documents by ``(-score, doc_id)`` and truncate to ``top_k``.
+
+    This is the protocol's shared tie-break, used by every backend: before
+    the lexsort, everything tied with the k-th score is kept so boundary
+    ties are broken by doc id exactly as a full sort would break them.
+    """
+    k = min(top_k, len(candidates))
+    if len(candidates) > k:
+        kth = np.partition(candidate_scores, len(candidates) - k)[
+            len(candidates) - k
+        ]
+        keep = candidate_scores >= kth
+        candidates = candidates[keep]
+        candidate_scores = candidate_scores[keep]
+    order = np.lexsort((doc_ranks[candidates], -candidate_scores))[:k]
+    return [
+        SearchHit(doc_id=doc_ids[candidates[i]], score=float(candidate_scores[i]))
+        for i in order
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# BM25
+# --------------------------------------------------------------------------- #
+@register_backend
+class BM25Index:
+    """An inverted index with Okapi BM25 ranking (Eq. 1–2 of the paper).
+
+    ``score(q, e) = sum_w IDF(w) * f(w, e) * (k1 + 1) /
+    (f(w, e) + k1 * (1 - b + b * |e| / avg_len))`` with
+    ``IDF(w) = ln((N - n(w) + 0.5) / (n(w) + 0.5) + 1)``.
+
+    Documents are added through the dict-based builder API, but retrieval
+    runs against a CSR-style compiled form produced lazily by
+    :meth:`finalize` (invalidated by :meth:`add_document`):
+
+    * ``_doc_ids`` — document ids in insertion order; a document's position
+      in this list is its integer index in every array below.
+    * ``_doc_ranks`` — ``int64[n_docs]`` lexicographic rank of each doc id,
+      for the deterministic ``(-score, doc_id)`` tie-break without string
+      comparisons at query time.
+    * ``_term_slots`` — term → slot mapping (terms sorted lexicographically).
+    * ``_indptr`` — ``int64[n_terms + 1]`` postings offsets: the postings of
+      slot ``t`` live in ``[_indptr[t], _indptr[t + 1])``.
+    * ``_posting_docs`` — ``int64[nnz]`` document indices, ascending within
+      each term's slice.
+    * ``_posting_impacts`` — ``dtype[nnz]`` precomputed per-``(term, doc)``
+      impact scores so a query is a pure gather + accumulate.
+
+    ``dtype`` selects the impacts dtype: ``float64`` (default) is
+    bitwise-identical to the scalar :meth:`score` oracle; ``float32`` halves
+    the postings memory traffic.  Scores always accumulate in a float64
+    buffer, so exact ties (equal impacts in both dtypes) keep the same
+    deterministic doc-id tie-break.
+    """
+
+    backend_name: ClassVar[str] = "bm25"
+
+    def __init__(self, parameters: BM25Parameters | None = None,
+                 dtype: str | np.dtype = np.float64):
+        self.parameters = parameters or BM25Parameters()
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dtype must be float32 or float64")
+        self._doc_term_counts: dict[str, Counter[str]] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._postings: dict[str, set[str]] = defaultdict(set)
+        self._total_length = 0
+        # True for indexes restored from exported state: the builder dicts are
+        # gone, so the index is query-only.
+        self._frozen = False
+        # Compiled (CSR) form, built lazily on first search.
+        self._compiled = False
+        self._doc_ids: list[str] = []
+        self._doc_id_set: frozenset[str] = frozenset()
+        self._doc_ranks: np.ndarray | None = None
+        self._term_slots: dict[str, int] = {}
+        self._indptr: np.ndarray | None = None
+        self._posting_docs: np.ndarray | None = None
+        self._posting_impacts: np.ndarray | None = None
+        self._score_buffer: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _require_builder(self, operation: str) -> None:
+        """Frozen (restored) indexes have no builder dicts; fail loudly."""
+        if self._frozen:
+            raise RuntimeError(
+                f"{operation} is unavailable on an index restored from exported "
+                "state (query-only: the builder-side structures are not serialised)"
+            )
+
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index one document; re-adding an id raises ``ValueError``."""
+        self._require_builder("add_document")
+        if doc_id in self._doc_term_counts:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        terms = basic_tokenize(text)
+        counts = Counter(terms)
+        self._doc_term_counts[doc_id] = counts
+        self._doc_lengths[doc_id] = len(terms)
+        self._total_length += len(terms)
+        for term in counts:
+            self._postings[term].add(doc_id)
+        self._compiled = False
+
+    @classmethod
+    def build(cls, documents: Iterable[tuple[str, str]],
+              parameters: BM25Parameters | None = None,
+              dtype: str | np.dtype = np.float64) -> "BM25Index":
+        """Build an index from ``(doc_id, text)`` pairs."""
+        index = cls(parameters, dtype=dtype)
+        for doc_id, text in documents:
+            index.add_document(doc_id, text)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        if self._frozen:
+            return len(self._doc_ids)
+        return len(self._doc_term_counts)
+
+    def __contains__(self, doc_id: str) -> bool:
+        if self._frozen:
+            return doc_id in self._doc_id_set
+        return doc_id in self._doc_term_counts
+
+    @property
+    def average_document_length(self) -> float:
+        self._require_builder("average_document_length")
+        if not self._doc_term_counts:
+            return 0.0
+        return self._total_length / len(self._doc_term_counts)
+
+    @property
+    def is_finalized(self) -> bool:
+        """Whether the compiled arrays are current with the builder dicts."""
+        return self._compiled
+
+    def document_frequency(self, term: str) -> int:
+        """Number of indexed documents containing ``term``."""
+        self._require_builder("document_frequency")
+        return len(self._postings.get(_normalize_term(term), ()))
+
+    def idf(self, term: str) -> float:
+        """Inverse document frequency with the +1 smoothing of Eq. 2."""
+        self._require_builder("idf")
+        n_docs = len(self._doc_term_counts)
+        n_term = self.document_frequency(term)
+        return math.log((n_docs - n_term + 0.5) / (n_term + 0.5) + 1.0)
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> None:
+        """Compile the dict-based postings into the CSR arrays.
+
+        Called lazily by :meth:`search`; calling it eagerly after bulk
+        construction moves the cost out of the first query.  Idempotent, and
+        invalidated by :meth:`add_document`.
+        """
+        if self._compiled:
+            return
+        k1, b = self.parameters.k1, self.parameters.b
+        avg_len = self.average_document_length or 1.0
+
+        doc_ids = list(self._doc_term_counts)
+        doc_index = {doc_id: i for i, doc_id in enumerate(doc_ids)}
+        doc_lengths = np.asarray(
+            [self._doc_lengths[doc_id] for doc_id in doc_ids], dtype=np.float64
+        )
+        ranks = _doc_ranks(doc_ids)
+
+        terms = sorted(self._postings)
+        term_slots = {term: slot for slot, term in enumerate(terms)}
+        counts_per_term = np.asarray(
+            [len(self._postings[term]) for term in terms], dtype=np.int64
+        )
+        indptr = np.zeros(len(terms) + 1, dtype=np.int64)
+        np.cumsum(counts_per_term, out=indptr[1:])
+
+        posting_docs = np.empty(int(indptr[-1]), dtype=np.int64)
+        frequencies = np.empty(int(indptr[-1]), dtype=np.float64)
+        idf = np.empty(int(indptr[-1]), dtype=np.float64)
+        cursor = 0
+        for term in terms:
+            members = sorted(doc_index[doc_id] for doc_id in self._postings[term])
+            term_idf = self.idf(term)
+            for doc in members:
+                posting_docs[cursor] = doc
+                frequencies[cursor] = self._doc_term_counts[doc_ids[doc]][term]
+                idf[cursor] = term_idf
+                cursor += 1
+
+        # Exactly Eq. 1–2, in the same operation order as the scalar oracle
+        # so the accumulated scores are bitwise-identical to ``score()``
+        # (under the default float64 dtype).
+        norms = 1.0 - b + b * doc_lengths / avg_len
+        impacts = (idf * (frequencies * (k1 + 1.0))) / (
+            frequencies + k1 * norms[posting_docs]
+        )
+
+        self._doc_ids = doc_ids
+        self._doc_id_set = frozenset(doc_ids)
+        self._doc_ranks = ranks
+        self._term_slots = term_slots
+        self._indptr = indptr
+        self._posting_docs = posting_docs
+        self._posting_impacts = impacts.astype(self.dtype, copy=False)
+        self._score_buffer = np.zeros(len(doc_ids), dtype=np.float64)
+        self._compiled = True
+
+    # ------------------------------------------------------------------ #
+    # compiled-state round trip
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict[str, np.ndarray]:
+        """The compiled arrays as a flat dict (finalizes first if needed)."""
+        self.finalize()
+        terms = sorted(self._term_slots, key=self._term_slots.get)
+        return {
+            "doc_ids": _as_str_array(self._doc_ids),
+            "doc_ranks": self._doc_ranks,
+            "terms": _as_str_array(terms),
+            "indptr": self._indptr,
+            "posting_docs": self._posting_docs,
+            "posting_impacts": self._posting_impacts,
+            "k1": np.asarray(self.parameters.k1),
+            "b": np.asarray(self.parameters.b),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "BM25Index":
+        """Rebuild a query-only index from :meth:`export_state` output."""
+        impacts = np.asarray(state["posting_impacts"])
+        index = cls(
+            BM25Parameters(k1=float(state["k1"]), b=float(state["b"])),
+            dtype=impacts.dtype,
+        )
+        index._doc_ids = [str(d) for d in state["doc_ids"]]
+        index._doc_id_set = frozenset(index._doc_ids)
+        index._doc_ranks = np.asarray(state["doc_ranks"], dtype=np.int64)
+        index._term_slots = {str(term): slot for slot, term in enumerate(state["terms"])}
+        index._indptr = np.asarray(state["indptr"], dtype=np.int64)
+        index._posting_docs = np.asarray(state["posting_docs"], dtype=np.int64)
+        index._posting_impacts = impacts
+        index._score_buffer = np.zeros(len(index._doc_ids), dtype=np.float64)
+        index._frozen = True
+        index._compiled = True
+        return index
+
+    # ------------------------------------------------------------------ #
+    # retrieval
+    # ------------------------------------------------------------------ #
+    def score(self, query: str, doc_id: str) -> float:
+        """BM25 score of ``doc_id`` for ``query`` (0 for unindexed documents).
+
+        This scalar path is the reference oracle for the vectorized
+        :meth:`search`; the parity tests hold the two to each other.  It
+        requires the builder dicts and therefore raises on an index restored
+        with :meth:`from_state`.
+        """
+        self._require_builder("score")
+        counts = self._doc_term_counts.get(doc_id)
+        if counts is None:
+            return 0.0
+        k1, b = self.parameters.k1, self.parameters.b
+        avg_len = self.average_document_length or 1.0
+        doc_len = self._doc_lengths[doc_id]
+        total = 0.0
+        for term in basic_tokenize(query):
+            frequency = counts.get(term, 0)
+            if frequency == 0:
+                continue
+            idf = self.idf(term)
+            numerator = frequency * (k1 + 1.0)
+            denominator = frequency + k1 * (1.0 - b + b * doc_len / avg_len)
+            total += idf * numerator / denominator
+        return total
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchHit]:
+        """Return the ``top_k`` highest-scoring documents for ``query``.
+
+        Only documents sharing at least one term with the query are scored,
+        mirroring how an inverted index narrows the candidate set.  Every
+        impact is strictly positive (the +1-smoothed IDF never vanishes), so
+        every touched document is a genuine hit.
+        """
+        if top_k <= 0:
+            return []
+        query_terms = basic_tokenize(query)
+        if not query_terms:
+            return []
+        self.finalize()
+
+        scores = self._score_buffer
+        touched: list[np.ndarray] = []
+        # Iterate tokens in query order (duplicates included) so the per-doc
+        # float accumulation replays the oracle's additions exactly.
+        for term in query_terms:
+            slot = self._term_slots.get(term)
+            if slot is None:
+                continue
+            start, stop = self._indptr[slot], self._indptr[slot + 1]
+            docs = self._posting_docs[start:stop]
+            scores[docs] += self._posting_impacts[start:stop]
+            touched.append(docs)
+        if not touched:
+            return []
+
+        candidates = np.unique(np.concatenate(touched))
+        candidate_scores = scores[candidates].copy()
+        scores[candidates] = 0.0  # reset the shared buffer for the next query
+        return _select_top_hits(
+            candidates, candidate_scores, self._doc_ranks, self._doc_ids, top_k
+        )
+
+    def search_batch(self, queries: Sequence[str], top_k: int = 10
+                     ) -> list[list[SearchHit]]:
+        """Search many queries against the compiled index in one pass.
+
+        The compile cost (``search`` self-finalizes on the first query) and
+        the score buffer are shared across the batch; results align with
+        ``queries``.
+        """
+        return [self.search(query, top_k=top_k) for query in queries]
+
+
+# --------------------------------------------------------------------------- #
+# character-n-gram embedding backend
+# --------------------------------------------------------------------------- #
+@register_backend
+class CharNGramIndex:
+    """Approximate retrieval over hashed character-n-gram embeddings.
+
+    Every document (and query) is embedded into a ``dim``-dimensional count
+    vector: each token contributes the buckets of its boundary-marked
+    character ``n``-grams plus one whole-token bucket, hashed with the
+    platform-independent CRC32.  Vectors are L2-normalised, so retrieval is
+    cosine similarity — a dense matrix-vector product against the compiled
+    embedding matrix.  Documents sharing no hashed n-gram with the query
+    score exactly 0 and are never returned, matching the inverted-index
+    contract that only overlapping documents are hits.
+
+    Compared to BM25's exact term matching this tolerates typos, inflections
+    and partial mentions; it exists primarily to prove the
+    :class:`RetrievalBackend` protocol supports a second, structurally
+    different engine, and shares the protocol's deterministic
+    ``(-score, doc_id)`` tie-break.
+    """
+
+    backend_name: ClassVar[str] = "char_ngram"
+
+    def __init__(self, n: int = 3, dim: int = 512,
+                 dtype: str | np.dtype = np.float32):
+        if n < 2:
+            raise ValueError("n must be at least 2")
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.n = n
+        self.dim = dim
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError("dtype must be float32 or float64")
+        self._texts: dict[str, str] = {}
+        self._frozen = False
+        self._compiled = False
+        self._doc_ids: list[str] = []
+        self._doc_id_set: frozenset[str] = frozenset()
+        self._doc_ranks: np.ndarray | None = None
+        self._matrix: np.ndarray | None = None  # (n_docs, dim), rows L2-normalised
+
+    # ------------------------------------------------------------------ #
+    def _buckets(self, text: str) -> np.ndarray:
+        """Hashed n-gram bucket indices of ``text`` (duplicates kept: counts)."""
+        buckets: list[int] = []
+        for token in basic_tokenize(text):
+            marked = f"#{token}#"
+            # Whole-token bucket keeps an exact-match signal even for tokens
+            # shorter than the n-gram width.
+            buckets.append(zlib.crc32(token.encode("utf-8")) % self.dim)
+            for i in range(len(marked) - self.n + 1):
+                gram = marked[i : i + self.n]
+                buckets.append(zlib.crc32(gram.encode("utf-8")) % self.dim)
+        return np.asarray(buckets, dtype=np.int64)
+
+    def _embed(self, text: str) -> np.ndarray:
+        vector = np.zeros(self.dim, dtype=np.float64)
+        buckets = self._buckets(text)
+        if buckets.size:
+            np.add.at(vector, buckets, 1.0)
+            norm = np.linalg.norm(vector)
+            if norm > 0:
+                vector /= norm
+        return vector.astype(self.dtype, copy=False)
+
+    # ------------------------------------------------------------------ #
+    def add_document(self, doc_id: str, text: str) -> None:
+        """Index one document; re-adding an id raises ``ValueError``."""
+        if self._frozen:
+            raise RuntimeError(
+                "this index was restored from exported state and is query-only"
+            )
+        if doc_id in self._texts:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        self._texts[doc_id] = text
+        self._compiled = False
+
+    @classmethod
+    def build(cls, documents: Iterable[tuple[str, str]], **kwargs) -> "CharNGramIndex":
+        """Build an index from ``(doc_id, text)`` pairs."""
+        index = cls(**kwargs)
+        for doc_id, text in documents:
+            index.add_document(doc_id, text)
+        return index
+
+    def __len__(self) -> int:
+        if self._frozen:
+            return len(self._doc_ids)
+        return len(self._texts)
+
+    def __contains__(self, doc_id: str) -> bool:
+        if self._frozen:
+            return doc_id in self._doc_id_set
+        return doc_id in self._texts
+
+    @property
+    def is_finalized(self) -> bool:
+        return self._compiled
+
+    # ------------------------------------------------------------------ #
+    def finalize(self) -> None:
+        """Compile the embedding matrix (idempotent; invalidated by adds)."""
+        if self._compiled:
+            return
+        doc_ids = list(self._texts)
+        matrix = np.zeros((len(doc_ids), self.dim), dtype=self.dtype)
+        for row, doc_id in enumerate(doc_ids):
+            matrix[row] = self._embed(self._texts[doc_id])
+        self._doc_ids = doc_ids
+        self._doc_id_set = frozenset(doc_ids)
+        self._doc_ranks = _doc_ranks(doc_ids)
+        self._matrix = matrix
+        self._compiled = True
+
+    def export_state(self) -> dict[str, np.ndarray]:
+        """The compiled arrays as a flat dict (finalizes first if needed)."""
+        self.finalize()
+        return {
+            "doc_ids": _as_str_array(self._doc_ids),
+            "doc_ranks": self._doc_ranks,
+            "matrix": self._matrix,
+            "n": np.asarray(self.n),
+            "dim": np.asarray(self.dim),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, np.ndarray]) -> "CharNGramIndex":
+        """Rebuild a query-only index from :meth:`export_state` output."""
+        matrix = np.asarray(state["matrix"])
+        index = cls(n=int(state["n"]), dim=int(state["dim"]), dtype=matrix.dtype)
+        index._doc_ids = [str(d) for d in state["doc_ids"]]
+        index._doc_id_set = frozenset(index._doc_ids)
+        index._doc_ranks = np.asarray(state["doc_ranks"], dtype=np.int64)
+        index._matrix = matrix
+        index._frozen = True
+        index._compiled = True
+        return index
+
+    def search(self, query: str, top_k: int = 10) -> list[SearchHit]:
+        """Return the ``top_k`` most cosine-similar documents for ``query``."""
+        if top_k <= 0:
+            return []
+        self.finalize()
+        if not self._doc_ids:
+            return []
+        query_vector = self._embed(query)
+        if not np.any(query_vector):
+            return []
+        scores = self._matrix.astype(np.float64, copy=False) @ query_vector.astype(
+            np.float64, copy=False
+        )
+        # BLAS may split the per-row dot products differently depending on row
+        # alignment, so even identical documents can disagree in the last ulp.
+        # Cosine scores live in [0, 1]; quantizing to 12 decimal digits
+        # collapses that summation noise without merging genuinely different
+        # similarities, which keeps the (-score, doc_id) tie-break exact.
+        scores = np.round(scores, 12)
+        candidates = np.nonzero(scores > 0.0)[0]
+        if candidates.size == 0:
+            return []
+        return _select_top_hits(
+            candidates, scores[candidates], self._doc_ranks, self._doc_ids, top_k
+        )
+
+    def search_batch(self, queries: Sequence[str], top_k: int = 10
+                     ) -> list[list[SearchHit]]:
+        """Search many queries; results align with ``queries``.
+
+        Delegates to :meth:`search` per query: a fused matrix-matrix product
+        would be faster but produces slightly different float sums than the
+        sequential path, and the protocol requires the two to agree exactly.
+        """
+        self.finalize()
+        return [self.search(query, top_k=top_k) for query in queries]
+
+
+def reference_search(index: BM25Index, query: str, top_k: int = 10) -> list[SearchHit]:
+    """The seed scalar search: candidate set from postings, one ``score()`` per doc.
+
+    This is the oracle the vectorized :meth:`BM25Index.search` must match
+    exactly; the parity tests and the retrieval benchmark baseline both use
+    this single definition so the reference cannot drift.
+    """
+    if top_k <= 0:
+        return []
+    query_terms = basic_tokenize(query)
+    if not query_terms:
+        return []
+    candidates: set[str] = set()
+    for term in query_terms:
+        candidates.update(index._postings.get(term, ()))
+    scored = [
+        SearchHit(doc_id=doc_id, score=index.score(query, doc_id))
+        for doc_id in candidates
+    ]
+    scored = [hit for hit in scored if hit.score > 0.0]
+    scored.sort(key=lambda hit: (-hit.score, hit.doc_id))
+    return scored[:top_k]

@@ -1,332 +1,19 @@
-"""Okapi BM25 inverted index over knowledge-graph entity documents.
+"""Compatibility shim: the BM25 index now lives in :mod:`repro.kg.backends`.
 
-This replaces the Elasticsearch deployment used by the paper.  The scoring
-function is exactly Eq. 1–2:
-
-``score(q, e) = sum_w IDF(w) * f(w, e) * (k1 + 1) / (f(w, e) + k1 * (1 - b + b * |e| / avg_len))``
-
-with ``IDF(w) = ln((N - n(w) + 0.5) / (n(w) + 0.5) + 1)``.
-
-Compiled index layout
----------------------
-
-Documents are added through the dict-based builder API, but retrieval runs
-against a CSR-style compiled form produced lazily by :meth:`BM25Index.finalize`
-(invalidated by :meth:`BM25Index.add_document`):
-
-* ``_doc_ids`` — document ids in insertion order; a document's position in
-  this list is its integer index in every array below.
-* ``_doc_ranks`` — ``int64[n_docs]``, the lexicographic rank of each doc id,
-  used for the deterministic ``(-score, doc_id)`` tie-break without string
-  comparisons at query time.
-* ``_term_slots`` — term → slot mapping (terms sorted lexicographically).
-* ``_indptr`` — ``int64[n_terms + 1]`` postings offsets: the postings of slot
-  ``t`` live in ``[_indptr[t], _indptr[t + 1])``.
-* ``_posting_docs`` — ``int64[nnz]`` document indices, ascending within each
-  term's slice.
-* ``_posting_impacts`` — ``float64[nnz]`` precomputed per-``(term, doc)``
-  impact scores ``idf(w) * f * (k1 + 1) / (f + k1 * (1 - b + b * |d| / avg))``
-  so a query is a pure gather + accumulate with no per-candidate arithmetic.
-
-:meth:`search` accumulates impacts per query token into a dense score buffer
-(bitwise-identical to the scalar :meth:`score` oracle, which remains the
-reference implementation) and extracts the top-``k`` via ``np.argpartition``
-with boundary ties resolved by the ``(-score, doc_id)`` lexsort.
+The Okapi BM25 implementation (Eq. 1–2 of the paper) was extracted into the
+pluggable retrieval-backend module together with the
+:class:`~repro.kg.backends.RetrievalBackend` protocol it implements.  This
+module re-exports the historical names so existing imports keep working;
+new code should import from :mod:`repro.kg.backends`.
 """
 
 from __future__ import annotations
 
-import math
-from collections import Counter, defaultdict
-from dataclasses import dataclass
-from typing import Iterable, Sequence
-
-import numpy as np
-
-from repro.text.tokenizer import basic_tokenize
+from repro.kg.backends import (  # noqa: F401
+    BM25Index,
+    BM25Parameters,
+    SearchHit,
+    reference_search,
+)
 
 __all__ = ["BM25Parameters", "SearchHit", "BM25Index", "reference_search"]
-
-
-@dataclass(frozen=True)
-class BM25Parameters:
-    """The two tunable Okapi BM25 parameters (Elasticsearch defaults)."""
-
-    k1: float = 1.2
-    b: float = 0.75
-
-    def __post_init__(self) -> None:
-        if self.k1 < 0:
-            raise ValueError("k1 must be non-negative")
-        if not 0.0 <= self.b <= 1.0:
-            raise ValueError("b must lie in [0, 1]")
-
-
-@dataclass(frozen=True)
-class SearchHit:
-    """A retrieval result: document (entity) id and its BM25 score."""
-
-    doc_id: str
-    score: float
-
-
-def _normalize_term(term: str) -> str:
-    """The single normalization applied to terms entering or querying the index.
-
-    ``basic_tokenize`` already lower-cases, so document-side tokens pass
-    through unchanged; user-supplied raw terms (``document_frequency``,
-    ``idf``) are folded to the same form here rather than ad hoc at call
-    sites.
-    """
-    return term.lower()
-
-
-class BM25Index:
-    """An inverted index with Okapi BM25 ranking.
-
-    Documents are added with :meth:`add_document` (or in bulk through
-    :meth:`build`) and queried with :meth:`search`.  Scores are always
-    non-negative; a query with no overlapping terms returns no hits.
-    """
-
-    def __init__(self, parameters: BM25Parameters | None = None):
-        self.parameters = parameters or BM25Parameters()
-        self._doc_term_counts: dict[str, Counter[str]] = {}
-        self._doc_lengths: dict[str, int] = {}
-        self._postings: dict[str, set[str]] = defaultdict(set)
-        self._total_length = 0
-        # Compiled (CSR) form, built lazily on first search.
-        self._compiled = False
-        self._doc_ids: list[str] = []
-        self._doc_ranks: np.ndarray | None = None
-        self._term_slots: dict[str, int] = {}
-        self._indptr: np.ndarray | None = None
-        self._posting_docs: np.ndarray | None = None
-        self._posting_impacts: np.ndarray | None = None
-        self._score_buffer: np.ndarray | None = None
-
-    # ------------------------------------------------------------------ #
-    # construction
-    # ------------------------------------------------------------------ #
-    def add_document(self, doc_id: str, text: str) -> None:
-        """Index one document; re-adding an id raises ``ValueError``."""
-        if doc_id in self._doc_term_counts:
-            raise ValueError(f"document {doc_id!r} already indexed")
-        terms = basic_tokenize(text)
-        counts = Counter(terms)
-        self._doc_term_counts[doc_id] = counts
-        self._doc_lengths[doc_id] = len(terms)
-        self._total_length += len(terms)
-        for term in counts:
-            self._postings[term].add(doc_id)
-        self._compiled = False
-
-    @classmethod
-    def build(cls, documents: Iterable[tuple[str, str]],
-              parameters: BM25Parameters | None = None) -> "BM25Index":
-        """Build an index from ``(doc_id, text)`` pairs."""
-        index = cls(parameters)
-        for doc_id, text in documents:
-            index.add_document(doc_id, text)
-        return index
-
-    # ------------------------------------------------------------------ #
-    # statistics
-    # ------------------------------------------------------------------ #
-    def __len__(self) -> int:
-        return len(self._doc_term_counts)
-
-    def __contains__(self, doc_id: str) -> bool:
-        return doc_id in self._doc_term_counts
-
-    @property
-    def average_document_length(self) -> float:
-        if not self._doc_term_counts:
-            return 0.0
-        return self._total_length / len(self._doc_term_counts)
-
-    @property
-    def is_finalized(self) -> bool:
-        """Whether the compiled arrays are current with the builder dicts."""
-        return self._compiled
-
-    def document_frequency(self, term: str) -> int:
-        """Number of indexed documents containing ``term``."""
-        return len(self._postings.get(_normalize_term(term), ()))
-
-    def idf(self, term: str) -> float:
-        """Inverse document frequency with the +1 smoothing of Eq. 2."""
-        n_docs = len(self._doc_term_counts)
-        n_term = self.document_frequency(term)
-        return math.log((n_docs - n_term + 0.5) / (n_term + 0.5) + 1.0)
-
-    # ------------------------------------------------------------------ #
-    # compilation
-    # ------------------------------------------------------------------ #
-    def finalize(self) -> None:
-        """Compile the dict-based postings into the CSR arrays.
-
-        Called lazily by :meth:`search`; calling it eagerly after bulk
-        construction moves the cost out of the first query.  Idempotent, and
-        invalidated by :meth:`add_document`.
-        """
-        if self._compiled:
-            return
-        k1, b = self.parameters.k1, self.parameters.b
-        avg_len = self.average_document_length or 1.0
-
-        doc_ids = list(self._doc_term_counts)
-        doc_index = {doc_id: i for i, doc_id in enumerate(doc_ids)}
-        doc_lengths = np.asarray(
-            [self._doc_lengths[doc_id] for doc_id in doc_ids], dtype=np.float64
-        )
-        ranks = np.empty(len(doc_ids), dtype=np.int64)
-        ranks[np.argsort(np.asarray(doc_ids, dtype=object))] = np.arange(len(doc_ids))
-
-        terms = sorted(self._postings)
-        term_slots = {term: slot for slot, term in enumerate(terms)}
-        counts_per_term = np.asarray(
-            [len(self._postings[term]) for term in terms], dtype=np.int64
-        )
-        indptr = np.zeros(len(terms) + 1, dtype=np.int64)
-        np.cumsum(counts_per_term, out=indptr[1:])
-
-        posting_docs = np.empty(int(indptr[-1]), dtype=np.int64)
-        frequencies = np.empty(int(indptr[-1]), dtype=np.float64)
-        idf = np.empty(int(indptr[-1]), dtype=np.float64)
-        cursor = 0
-        for term in terms:
-            members = sorted(doc_index[doc_id] for doc_id in self._postings[term])
-            term_idf = self.idf(term)
-            for doc in members:
-                posting_docs[cursor] = doc
-                frequencies[cursor] = self._doc_term_counts[doc_ids[doc]][term]
-                idf[cursor] = term_idf
-                cursor += 1
-
-        # Exactly Eq. 1–2, in the same operation order as the scalar oracle
-        # so the accumulated scores are bitwise-identical to ``score()``.
-        norms = 1.0 - b + b * doc_lengths / avg_len
-        impacts = (idf * (frequencies * (k1 + 1.0))) / (
-            frequencies + k1 * norms[posting_docs]
-        )
-
-        self._doc_ids = doc_ids
-        self._doc_ranks = ranks
-        self._term_slots = term_slots
-        self._indptr = indptr
-        self._posting_docs = posting_docs
-        self._posting_impacts = impacts
-        self._score_buffer = np.zeros(len(doc_ids), dtype=np.float64)
-        self._compiled = True
-
-    # ------------------------------------------------------------------ #
-    # retrieval
-    # ------------------------------------------------------------------ #
-    def score(self, query: str, doc_id: str) -> float:
-        """BM25 score of ``doc_id`` for ``query`` (0 for unindexed documents).
-
-        This scalar path is the reference oracle for the vectorized
-        :meth:`search`; the parity tests hold the two to each other.
-        """
-        counts = self._doc_term_counts.get(doc_id)
-        if counts is None:
-            return 0.0
-        k1, b = self.parameters.k1, self.parameters.b
-        avg_len = self.average_document_length or 1.0
-        doc_len = self._doc_lengths[doc_id]
-        total = 0.0
-        for term in basic_tokenize(query):
-            frequency = counts.get(term, 0)
-            if frequency == 0:
-                continue
-            idf = self.idf(term)
-            numerator = frequency * (k1 + 1.0)
-            denominator = frequency + k1 * (1.0 - b + b * doc_len / avg_len)
-            total += idf * numerator / denominator
-        return total
-
-    def search(self, query: str, top_k: int = 10) -> list[SearchHit]:
-        """Return the ``top_k`` highest-scoring documents for ``query``.
-
-        Only documents sharing at least one term with the query are scored,
-        mirroring how an inverted index narrows the candidate set.  Every
-        impact is strictly positive (the +1-smoothed IDF never vanishes), so
-        every touched document is a genuine hit.
-        """
-        if top_k <= 0:
-            return []
-        query_terms = basic_tokenize(query)
-        if not query_terms:
-            return []
-        self.finalize()
-
-        scores = self._score_buffer
-        touched: list[np.ndarray] = []
-        # Iterate tokens in query order (duplicates included) so the per-doc
-        # float accumulation replays the oracle's additions exactly.
-        for term in query_terms:
-            slot = self._term_slots.get(term)
-            if slot is None:
-                continue
-            start, stop = self._indptr[slot], self._indptr[slot + 1]
-            docs = self._posting_docs[start:stop]
-            scores[docs] += self._posting_impacts[start:stop]
-            touched.append(docs)
-        if not touched:
-            return []
-
-        candidates = np.unique(np.concatenate(touched))
-        candidate_scores = scores[candidates].copy()
-        scores[candidates] = 0.0  # reset the shared buffer for the next query
-
-        k = min(top_k, len(candidates))
-        if len(candidates) > k:
-            # Keep everything tied with the k-th score so boundary ties are
-            # broken by doc id below, exactly as the full sort would.
-            kth = np.partition(candidate_scores, len(candidates) - k)[
-                len(candidates) - k
-            ]
-            keep = candidate_scores >= kth
-            candidates = candidates[keep]
-            candidate_scores = candidate_scores[keep]
-        order = np.lexsort((self._doc_ranks[candidates], -candidate_scores))[:k]
-        doc_ids = self._doc_ids
-        return [
-            SearchHit(doc_id=doc_ids[candidates[i]], score=float(candidate_scores[i]))
-            for i in order
-        ]
-
-    def search_batch(self, queries: Sequence[str], top_k: int = 10
-                     ) -> list[list[SearchHit]]:
-        """Search many queries against the compiled index in one pass.
-
-        The compile cost (``search`` self-finalizes on the first query) and
-        the score buffer are shared across the batch; results align with
-        ``queries``.
-        """
-        return [self.search(query, top_k=top_k) for query in queries]
-
-
-def reference_search(index: BM25Index, query: str, top_k: int = 10) -> list[SearchHit]:
-    """The seed scalar search: candidate set from postings, one ``score()`` per doc.
-
-    This is the oracle the vectorized :meth:`BM25Index.search` must match
-    exactly; the parity tests and the retrieval benchmark baseline both use
-    this single definition so the reference cannot drift.
-    """
-    if top_k <= 0:
-        return []
-    query_terms = basic_tokenize(query)
-    if not query_terms:
-        return []
-    candidates: set[str] = set()
-    for term in query_terms:
-        candidates.update(index._postings.get(term, ()))
-    scored = [
-        SearchHit(doc_id=doc_id, score=index.score(query, doc_id))
-        for doc_id in candidates
-    ]
-    scored = [hit for hit in scored if hit.score > 0.0]
-    scored.sort(key=lambda hit: (-hit.score, hit.doc_id))
-    return scored[:top_k]

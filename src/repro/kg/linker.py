@@ -4,8 +4,9 @@ Given a table cell mention, the linker
 
 1. applies the named-entity schema detector: numbers and dates are never
    linked (their linking score is defined to be 0 by the paper);
-2. queries the BM25 index with the mention text and returns up to
-   ``max_candidates`` entities with their BM25 linking scores ``ls_e``.
+2. queries the retrieval backend (BM25 by default, Eq. 1–2) with the mention
+   text and returns up to ``max_candidates`` entities with their linking
+   scores ``ls_e``.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Sequence
 
-from repro.kg.bm25 import BM25Index, BM25Parameters
+from repro.kg.backends import BM25Parameters, RetrievalBackend, create_backend
 from repro.kg.graph import KnowledgeGraph
 from repro.text.ner import EntitySchema, detect_schema
 
@@ -34,12 +35,16 @@ class LinkerConfig:
     """Configuration of the entity linker.
 
     ``max_candidates`` corresponds to the paper's "we retrieved up to 10
-    entities from the KG for each cell mention".
+    entities from the KG for each cell mention".  ``backend`` names the
+    registered :class:`~repro.kg.backends.RetrievalBackend` built over the
+    graph's entity documents when no pre-built index is supplied; ``bm25``
+    parameterises that backend when it is the BM25 one.
     """
 
     max_candidates: int = 10
     bm25: BM25Parameters = field(default_factory=BM25Parameters)
     link_numbers_and_dates: bool = False
+    backend: str = "bm25"
 
     def __post_init__(self) -> None:
         if self.max_candidates <= 0:
@@ -47,17 +52,28 @@ class LinkerConfig:
 
 
 class EntityLinker:
-    """Link table cell mentions to candidate KG entities via BM25 retrieval."""
+    """Link table cell mentions to candidate KG entities via ranked retrieval.
 
-    def __init__(self, graph: KnowledgeGraph, config: LinkerConfig | None = None,
-                 index: BM25Index | None = None):
+    The linker talks to retrieval exclusively through the
+    :class:`~repro.kg.backends.RetrievalBackend` protocol.  Either pass a
+    pre-built ``index`` (any backend — this is how serving processes inject
+    an index restored from a bundle, and how several linkers share one
+    index), or pass a ``graph`` whose entity documents are indexed into a
+    freshly created ``config.backend``.
+    """
+
+    def __init__(self, graph: KnowledgeGraph | None = None,
+                 config: LinkerConfig | None = None,
+                 index: RetrievalBackend | None = None):
         self.graph = graph
         self.config = config or LinkerConfig()
         if index is None:
-            index = BM25Index.build(
-                ((entity.entity_id, entity.document_text()) for entity in graph.entities()),
-                parameters=self.config.bm25,
-            )
+            if graph is None:
+                raise ValueError("EntityLinker needs a graph or a pre-built index")
+            kwargs = {"parameters": self.config.bm25} if self.config.backend == "bm25" else {}
+            index = create_backend(self.config.backend, **kwargs)
+            for entity in graph.entities():
+                index.add_document(entity.entity_id, entity.document_text())
         self.index = index
         # Mentions repeat heavily inside a corpus (same cities, teams, people
         # across tables); memoising the raw retrieval is a large speed-up.

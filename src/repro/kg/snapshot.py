@@ -1,0 +1,119 @@
+"""A serialisable, read-only view of the knowledge-graph slice Part 1 needs.
+
+Part 1 of KGLink (:class:`~repro.core.pipeline.KGCandidateExtractor`) touches
+a graph through exactly three queries: ``entity(entity_id)``,
+``one_hop_neighbors(entity_id)`` and ``neighborhood_with_predicates(entity_id)``.
+:class:`KGSnapshot` captures those answers from a full
+:class:`~repro.kg.graph.KnowledgeGraph` into plain dicts — preserving the
+triple insertion order ``neighborhood_with_predicates`` exposes, so feature
+sequences come out identical — and round-trips through a JSON-able payload.
+
+Service bundles ship a snapshot instead of the graph, so a serving process
+answers annotation requests without ever constructing a
+:class:`~repro.kg.graph.KnowledgeGraph` (aliases, descriptions and the triple
+store itself are not needed at serving time: the retrieval index over entity
+documents is compiled and bundled separately).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.kg.graph import Entity, KnowledgeGraph
+from repro.text.ner import EntitySchema
+
+__all__ = ["KGSnapshot"]
+
+
+class KGSnapshot:
+    """Frozen entity/neighbourhood view satisfying the Part-1 graph surface."""
+
+    def __init__(self, entities: dict[str, Entity],
+                 neighborhoods: dict[str, list[tuple[str, str]]]):
+        self._entities = entities
+        self._neighborhoods = neighborhoods
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_graph(cls, graph: "KnowledgeGraph | KGSnapshot") -> "KGSnapshot":
+        """Capture the Part-1 surface of ``graph`` (idempotent on snapshots)."""
+        if isinstance(graph, cls):
+            return graph
+        entities: dict[str, Entity] = {}
+        neighborhoods: dict[str, list[tuple[str, str]]] = {}
+        for entity in graph.entities():
+            # Aliases and descriptions only feed the retrieval index, which is
+            # compiled and bundled separately; drop them to keep bundles lean.
+            entities[entity.entity_id] = Entity(
+                entity_id=entity.entity_id,
+                label=entity.label,
+                schema=entity.schema,
+                is_type=entity.is_type,
+            )
+            pairs = graph.neighborhood_with_predicates(entity.entity_id)
+            if pairs:
+                neighborhoods[entity.entity_id] = list(pairs)
+        return cls(entities, neighborhoods)
+
+    # ------------------------------------------------------------------ #
+    # the Part-1 graph surface
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def entity(self, entity_id: str) -> Entity:
+        """Return the entity with ``entity_id`` (raises ``KeyError`` if absent)."""
+        return self._entities[entity_id]
+
+    def entities(self) -> Iterator[Entity]:
+        """Iterate over all entities."""
+        return iter(self._entities.values())
+
+    def one_hop_neighbors(self, entity_id: str) -> set[str]:
+        """The ``N(e)`` of the paper, reconstructed from the captured pairs."""
+        neighbors = {nid for _, nid in self._neighborhoods.get(entity_id, ())}
+        neighbors.discard(entity_id)
+        return neighbors
+
+    def neighborhood_with_predicates(self, entity_id: str) -> list[tuple[str, str]]:
+        """``(predicate, neighbor_id)`` pairs in the original triple order."""
+        return list(self._neighborhoods.get(entity_id, ()))
+
+    # ------------------------------------------------------------------ #
+    # serialisation
+    # ------------------------------------------------------------------ #
+    def to_payload(self) -> dict:
+        """A JSON-able representation (see :meth:`from_payload`)."""
+        return {
+            "entities": [
+                [e.entity_id, e.label, e.schema.name, e.is_type]
+                for e in self._entities.values()
+            ],
+            "neighborhoods": {
+                entity_id: [[predicate, neighbor] for predicate, neighbor in pairs]
+                for entity_id, pairs in self._neighborhoods.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "KGSnapshot":
+        """Inverse of :meth:`to_payload`."""
+        entities = {
+            entity_id: Entity(
+                entity_id=entity_id,
+                label=label,
+                schema=EntitySchema[schema],
+                is_type=bool(is_type),
+            )
+            for entity_id, label, schema, is_type in payload["entities"]
+        }
+        neighborhoods = {
+            entity_id: [(predicate, neighbor) for predicate, neighbor in pairs]
+            for entity_id, pairs in payload["neighborhoods"].items()
+        }
+        return cls(entities, neighborhoods)

@@ -1,0 +1,32 @@
+"""Serving-first front door for trained KGLink systems.
+
+``repro.serve`` turns a fitted :class:`~repro.core.annotator.KGLinkAnnotator`
+into something a production process can load and hit with traffic:
+
+* :class:`~repro.serve.bundle.ServiceBundle` — a self-contained, versioned
+  on-disk bundle: config, tokenizer, label vocabulary, model weights, the
+  *compiled* retrieval index arrays and a knowledge-graph snapshot.  Loading
+  a bundle needs no :class:`~repro.kg.graph.KnowledgeGraph` object and no
+  index rebuild.
+* :class:`~repro.serve.service.AnnotationService` — the request-serving API:
+  ``annotate`` / ``annotate_batch`` / ``annotate_stream`` micro-batch tables
+  through the length-bucketed prediction path under ``no_grad`` and report
+  per-request telemetry (:class:`~repro.serve.service.ServiceStats`).
+
+Typical flow::
+
+    service = annotator.into_service()          # train -> serve, in process
+    service.save("bundle/")                     # persist for the fleet
+    service = AnnotationService.load("bundle/") # in each serving process
+    predictions = service.annotate_batch(tables)
+"""
+
+from repro.serve.bundle import BUNDLE_FORMAT_VERSION, ServiceBundle
+from repro.serve.service import AnnotationService, ServiceStats
+
+__all__ = [
+    "AnnotationService",
+    "ServiceBundle",
+    "ServiceStats",
+    "BUNDLE_FORMAT_VERSION",
+]

@@ -1,0 +1,183 @@
+"""Self-contained on-disk bundles for serving trained KGLink systems.
+
+A :class:`ServiceBundle` packages everything a serving process needs into one
+directory with a versioned manifest::
+
+    bundle/
+      manifest.json   format version, pipeline config, label vocabulary,
+                      tokenizer tokens, retrieval-backend name
+      model.npz       encoder + head weights (dtype-policy-stamped)
+      index.npz       the *compiled* retrieval index arrays (for BM25: CSR
+                      postings offsets, doc ids and precomputed impacts)
+      graph.json      the KG snapshot Part 1 queries (labels, schemas,
+                      one-hop neighbourhoods with predicates)
+
+Unlike the legacy ``save_annotator``/``load_annotator`` pair (now thin shims
+over this module), a bundle is independent of the knowledge graph: loading
+restores the retrieval backend from its exported arrays instead of
+re-indexing the graph, and ships a :class:`~repro.kg.snapshot.KGSnapshot`
+for the candidate-extraction queries — so
+:meth:`~repro.serve.service.AnnotationService.load` works on a machine that
+has nothing but the bundle directory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.annotator import KGLinkConfig
+from repro.core.model import KGLinkModel
+from repro.kg.backends import BM25Parameters, RetrievalBackend, restore_backend
+from repro.kg.linker import LinkerConfig
+from repro.kg.snapshot import KGSnapshot
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.plm.model import create_encoder
+from repro.text.tokenizer import WordPieceTokenizer
+from repro.text.vocab import Vocabulary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator -> serve)
+    from repro.core.annotator import KGLinkAnnotator
+
+__all__ = ["BUNDLE_FORMAT_VERSION", "ServiceBundle", "tokenizer_from_tokens"]
+
+BUNDLE_FORMAT_VERSION = 2
+
+MANIFEST_NAME = "manifest.json"
+WEIGHTS_NAME = "model.npz"
+INDEX_NAME = "index.npz"
+GRAPH_NAME = "graph.json"
+
+
+def tokenizer_from_tokens(tokens: list[str]) -> WordPieceTokenizer:
+    """Rebuild a tokenizer from a stored token list.
+
+    The first tokens are the special tokens, which the Vocabulary
+    constructor re-adds itself, so they are filtered before reconstruction.
+    """
+    specials = Vocabulary().specials
+    plain_tokens = [token for token in tokens if token not in set(specials.as_tuple())]
+    return WordPieceTokenizer(Vocabulary(plain_tokens, specials=specials))
+
+
+@dataclass
+class ServiceBundle:
+    """Everything a serving process needs, in memory or on disk."""
+
+    config: KGLinkConfig
+    label_vocabulary: list[str]
+    tokenizer: WordPieceTokenizer
+    model: KGLinkModel
+    backend: RetrievalBackend
+    backend_name: str
+    graph_view: KGSnapshot
+    linker_config: LinkerConfig = field(default_factory=LinkerConfig)
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_annotator(cls, annotator: "KGLinkAnnotator") -> "ServiceBundle":
+        """Capture a fitted annotator's serving state (no copies of weights)."""
+        if annotator.model is None or annotator.tokenizer is None:
+            raise RuntimeError("only fitted annotators can be bundled")
+        backend = annotator.linker.index
+        backend.finalize()
+        backend_name = getattr(type(backend), "backend_name", None)
+        if not backend_name:
+            raise ValueError(
+                f"retrieval backend {type(backend).__name__} has no backend_name; "
+                "register it with repro.kg.backends.register_backend"
+            )
+        return cls(
+            config=annotator.config,
+            label_vocabulary=list(annotator.label_vocabulary),
+            tokenizer=annotator.tokenizer,
+            model=annotator.model,
+            backend=backend,
+            backend_name=backend_name,
+            graph_view=KGSnapshot.from_graph(annotator.graph),
+            # The linker's own config, not a reconstruction from KGLinkConfig:
+            # a custom linker (deeper retrieval, number/date linking on) must
+            # serve exactly as it trained.
+            linker_config=annotator.linker.config,
+            metadata={"graph_entities": len(annotator.graph)},
+        )
+
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> Path:
+        """Write the bundle to ``directory``; returns the directory path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format_version": BUNDLE_FORMAT_VERSION,
+            "config": dataclasses.asdict(self.config),
+            "label_vocabulary": self.label_vocabulary,
+            "tokenizer_tokens": list(self.tokenizer.vocabulary),
+            "backend": {"name": self.backend_name, "documents": len(self.backend)},
+            "linker_config": dataclasses.asdict(self.linker_config),
+            **self.metadata,
+        }
+        (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        save_state_dict(self.model.state_dict(), directory / WEIGHTS_NAME)
+        np.savez_compressed(directory / INDEX_NAME, **self.backend.export_state())
+        (directory / GRAPH_NAME).write_text(json.dumps(self.graph_view.to_payload()))
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ServiceBundle":
+        """Load a bundle; needs no graph and performs no index rebuild."""
+        directory = Path(directory)
+        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        version = manifest.get("format_version")
+        if version != BUNDLE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported bundle format {version!r} "
+                f"(this build reads format {BUNDLE_FORMAT_VERSION})"
+            )
+        config = KGLinkConfig(**manifest["config"])
+        tokenizer = tokenizer_from_tokens(manifest["tokenizer_tokens"])
+        label_vocabulary = list(manifest["label_vocabulary"])
+
+        encoder = create_encoder(config.plm_config(vocab_size=tokenizer.vocab_size))
+        model = KGLinkModel(
+            encoder,
+            num_labels=len(label_vocabulary),
+            use_feature_vector=config.use_feature_vector,
+            seed=config.seed,
+        )
+        model.load_state_dict(load_state_dict(directory / WEIGHTS_NAME))
+        model.eval()
+
+        with np.load(directory / INDEX_NAME) as archive:
+            state = {key: archive[key] for key in archive.files}
+        backend_name = manifest["backend"]["name"]
+        backend = restore_backend(backend_name, state)
+
+        graph_view = KGSnapshot.from_payload(
+            json.loads((directory / GRAPH_NAME).read_text())
+        )
+        linker_payload = dict(manifest["linker_config"])
+        linker_payload["bm25"] = BM25Parameters(**linker_payload["bm25"])
+        linker_config = LinkerConfig(**linker_payload)
+        metadata = {
+            key: value
+            for key, value in manifest.items()
+            if key not in ("format_version", "config", "label_vocabulary",
+                           "tokenizer_tokens", "backend", "linker_config")
+        }
+        return cls(
+            config=config,
+            label_vocabulary=label_vocabulary,
+            tokenizer=tokenizer,
+            model=model,
+            backend=backend,
+            backend_name=backend_name,
+            graph_view=graph_view,
+            linker_config=linker_config,
+            metadata=metadata,
+        )

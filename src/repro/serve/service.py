@@ -1,0 +1,274 @@
+"""The request-serving front door: load a bundle once, annotate at volume.
+
+:class:`AnnotationService` wires a :class:`~repro.serve.bundle.ServiceBundle`
+into the existing inference machinery:
+
+* Part-1 candidate extraction runs against the bundled
+  :class:`~repro.kg.snapshot.KGSnapshot` and the restored retrieval backend —
+  no :class:`~repro.kg.graph.KnowledgeGraph` object exists in a serving
+  process;
+* Part-2 inference micro-batches tables through the length-bucketed
+  :meth:`~repro.core.trainer.KGLinkTrainer.predict` path under ``no_grad``;
+* :meth:`AnnotationService.annotate_stream` pipelines the two parts: a
+  single worker thread extracts candidates for micro-batch *i+1* while the
+  main thread runs PLM inference for micro-batch *i*;
+* prepared tables (Part-1 output serialised into model-ready arrays) are
+  memoised in a bounded :class:`~repro.core.cache.LRUCache` keyed by table
+  id — a warm request skips candidate extraction *and* serialisation — and
+  :meth:`AnnotationService.stats` reports per-request telemetry
+  (:class:`ServiceStats`: Part-1/encode latency, bucket fill, cache hits).
+
+The service is designed for one request loop per process.  Part-1
+preparation is serialized by an internal lock, so calling ``annotate`` /
+``annotate_batch`` from the consumer loop of an in-progress
+``annotate_stream`` is safe; calling service methods from *additional
+user-created threads* is not supported (Part-2 inference shares model
+state).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.cache import LRUCache
+from repro.core.pipeline import KGCandidateExtractor
+from repro.core.serialization import TableSerializer
+from repro.core.trainer import KGLinkTrainer, PreparedExample
+from repro.data.table import Table
+from repro.kg.linker import EntityLinker
+from repro.serve.bundle import ServiceBundle
+
+__all__ = ["ServiceStats", "AnnotationService"]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A snapshot of the service's cumulative telemetry counters."""
+
+    requests: int
+    tables: int
+    part1_seconds: float
+    encode_seconds: float
+    batches: int
+    useful_tokens: int
+    padded_tokens: int
+    cache_hits: int
+    cache_misses: int
+    cache_size: int
+
+    @property
+    def bucket_fill(self) -> float:
+        """Useful fraction of the token slots the encoder actually paid for."""
+        if self.padded_tokens <= 0:
+            return 1.0
+        return self.useful_tokens / self.padded_tokens
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Part-1 cache hit rate over the service lifetime."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Counters plus derived rates, ready for a metrics endpoint."""
+        return {
+            "requests": self.requests,
+            "tables": self.tables,
+            "part1_seconds": self.part1_seconds,
+            "encode_seconds": self.encode_seconds,
+            "batches": self.batches,
+            "useful_tokens": self.useful_tokens,
+            "padded_tokens": self.padded_tokens,
+            "bucket_fill": self.bucket_fill,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_size": self.cache_size,
+        }
+
+
+class AnnotationService:
+    """Serve column-type annotations from a loaded :class:`ServiceBundle`.
+
+    Parameters
+    ----------
+    bundle:
+        The serving state (usually from :meth:`load` or
+        :meth:`~repro.core.annotator.KGLinkAnnotator.into_service`).
+    max_batch:
+        Micro-batch size for Part-2 inference (and the default chunk size of
+        :meth:`annotate_stream`).
+    cache_size:
+        Bound of the processed-table LRU cache (``<= 0`` disables caching).
+    """
+
+    def __init__(self, bundle: ServiceBundle, max_batch: int = 16,
+                 cache_size: int = 1024):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.bundle = bundle
+        self.max_batch = max_batch
+        config = bundle.config
+        self.linker = EntityLinker(config=bundle.linker_config, index=bundle.backend)
+        self.extractor = KGCandidateExtractor(
+            bundle.graph_view, config.part1_config(), linker=self.linker
+        )
+        self.serializer = TableSerializer(bundle.tokenizer, config.serializer_config())
+        self.trainer = KGLinkTrainer(
+            bundle.model, self.serializer, bundle.label_vocabulary,
+            config.training_config(),
+        )
+        bundle.model.eval()
+        self._cache: LRUCache[str, PreparedExample] = LRUCache(maxsize=cache_size)
+        # Part-1 state (the retrieval backend's shared score buffer, the
+        # extractor's caches, the LRU) is not thread-safe; this lock lets a
+        # consumer call annotate()/annotate_batch() while an annotate_stream
+        # generator's background worker is mid-_prepare.
+        self._prepare_lock = threading.Lock()
+        self._requests = 0
+        self._tables = 0
+        self._part1_seconds = 0.0
+        self._encode_seconds = 0.0
+        self._batches = 0
+        self._useful_tokens = 0
+        self._padded_tokens = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, directory: str | Path, max_batch: int = 16,
+             cache_size: int = 1024) -> "AnnotationService":
+        """Start a service from a saved bundle directory.
+
+        No knowledge graph is constructed and no index is rebuilt: the
+        retrieval backend is restored from its compiled arrays and Part 1
+        queries the bundled graph snapshot.
+        """
+        return cls(ServiceBundle.load(directory), max_batch=max_batch,
+                   cache_size=cache_size)
+
+    def save(self, directory: str | Path) -> Path:
+        """Persist the underlying bundle (see :meth:`ServiceBundle.save`)."""
+        return self.bundle.save(directory)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _prepare(self, tables: list[Table]) -> list[PreparedExample]:
+        """Part 1 + serialisation for ``tables``, through the bounded LRU cache.
+
+        The cache holds the fully *prepared* example (model-ready arrays),
+        so a warm table costs one dict lookup before inference.
+        """
+        start = time.perf_counter()
+        prepared: list[PreparedExample] = []
+        with self._prepare_lock:
+            for table in tables:
+                cached = self._cache.get(table.table_id)
+                if cached is None:
+                    processed = self.extractor.process_table(table)
+                    cached = self.trainer.prepare_example(processed, with_ground_truth=False)
+                    self._cache.put(table.table_id, cached)
+                prepared.append(cached)
+        self._part1_seconds += time.perf_counter() - start
+        return prepared
+
+    def _predict(self, examples: list[PreparedExample]) -> list[list[str]]:
+        """Part 2 for prepared examples (micro-batched, length-bucketed)."""
+        if not examples:
+            return []
+        start = time.perf_counter()
+        predictions = self.trainer.predict(examples, batch_size=self.max_batch)
+        self._encode_seconds += time.perf_counter() - start
+        stats = self.trainer.last_bucket_stats or {}
+        self._batches += int(stats.get("n_batches", 0))
+        self._useful_tokens += int(stats.get("useful_tokens", 0))
+        self._padded_tokens += int(stats.get("padded_tokens", 0))
+        return predictions
+
+    # ------------------------------------------------------------------ #
+    # the serving API
+    # ------------------------------------------------------------------ #
+    def annotate(self, table: Table) -> list[str]:
+        """Predict a semantic type for every column of one table."""
+        return self.annotate_batch([table])[0]
+
+    def annotate_batch(self, tables: Iterable[Table]) -> list[list[str]]:
+        """Annotate many tables in one request; results align with input."""
+        tables = list(tables)
+        self._requests += 1
+        self._tables += len(tables)
+        if not tables:
+            return []
+        return self._predict(self._prepare(tables))
+
+    def annotate_stream(self, tables: Iterable[Table],
+                        max_batch: int | None = None) -> Iterator[list[str]]:
+        """Annotate a (possibly unbounded) stream of tables lazily, in order.
+
+        Tables are consumed in micro-batches of ``max_batch``.  A single
+        background worker runs Part-1 candidate extraction for the *next*
+        micro-batch while the main thread runs Part-2 PLM inference for the
+        current one, so the two stages overlap instead of alternating.
+        Results are yielded per table, in input order, regardless of the
+        micro-batch boundaries.
+        """
+        size = max_batch or self.max_batch
+        if size <= 0:
+            raise ValueError("max_batch must be positive")
+        iterator = iter(tables)
+        self._requests += 1
+        executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-part1"
+        )
+        try:
+            chunk = list(islice(iterator, size))
+            future = executor.submit(self._prepare, chunk) if chunk else None
+            while future is not None:
+                prepared = future.result()
+                # Start Part 1 of the next chunk before predicting this one.
+                next_chunk = list(islice(iterator, size))
+                future = executor.submit(self._prepare, next_chunk) if next_chunk else None
+                self._tables += len(prepared)
+                yield from self._predict(prepared)
+        finally:
+            executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    # telemetry
+    # ------------------------------------------------------------------ #
+    def stats(self) -> ServiceStats:
+        """Cumulative telemetry since start (or the last :meth:`reset_stats`)."""
+        info = self._cache.cache_info()
+        return ServiceStats(
+            requests=self._requests,
+            tables=self._tables,
+            part1_seconds=self._part1_seconds,
+            encode_seconds=self._encode_seconds,
+            batches=self._batches,
+            useful_tokens=self._useful_tokens,
+            padded_tokens=self._padded_tokens,
+            cache_hits=info.hits,
+            cache_misses=info.misses,
+            cache_size=info.currsize,
+        )
+
+    def reset_stats(self) -> None:
+        """Zero all telemetry counters (the cache contents stay warm)."""
+        self._requests = 0
+        self._tables = 0
+        self._part1_seconds = 0.0
+        self._encode_seconds = 0.0
+        self._batches = 0
+        self._useful_tokens = 0
+        self._padded_tokens = 0
+        self._cache.hits = 0
+        self._cache.misses = 0
+        self._cache.evictions = 0

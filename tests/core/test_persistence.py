@@ -8,6 +8,9 @@ from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
 from repro.core.persistence import load_annotator, save_annotator
 from repro.data.corpus import TableCorpus
 
+# These tests exercise the deprecated shims on purpose.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 TINY_CONFIG = KGLinkConfig(
     epochs=1, batch_size=4, learning_rate=1e-3, pretrain_steps=2,
@@ -59,7 +62,7 @@ class TestLoadAnnotator:
     def test_unsupported_format_rejected(self, fitted, graph, tmp_path):
         directory = save_annotator(fitted, tmp_path / "model")
         manifest = directory / "manifest.json"
-        manifest.write_text(manifest.read_text().replace('"format_version": 1',
+        manifest.write_text(manifest.read_text().replace('"format_version": 2',
                                                          '"format_version": 99'))
         with pytest.raises(ValueError):
             load_annotator(directory, graph)

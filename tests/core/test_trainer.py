@@ -176,6 +176,62 @@ class TestPredictionAndEvaluation:
         trainer.predict([])
         assert trainer.last_bucket_stats is None
 
+    def test_feature_vectors_bucketed_matches_full_width(self, tokenizer,
+                                                         label_vocabulary):
+        from repro.nn.tensor import no_grad
+
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        trainer.model.eval()
+        # Ragged feature blocks: every row a different true length, padded to
+        # the global width the serializer would emit.
+        rng = np.random.default_rng(3)
+        n_rows, width = 13, 10
+        vocab = trainer.serializer.vocab
+        features = np.full((n_rows, width), vocab.pad_id, dtype=np.int64)
+        attention = np.zeros((n_rows, width), dtype=bool)
+        for row in range(n_rows):
+            length = int(rng.integers(1, width + 1))
+            features[row, 0] = vocab.cls_id
+            if length > 1:
+                features[row, 1:length] = rng.integers(
+                    5, tokenizer.vocab_size, size=length - 1
+                )
+            attention[row, :length] = True
+        lengths = attention.sum(axis=1)
+        assert len(set(lengths.tolist())) > 1
+        trainer.FEATURE_BUCKET_SIZE = 4  # force several ragged chunks
+        with no_grad():
+            full = trainer.model.feature_vectors(features, attention)
+            bucketed = trainer._feature_vectors(features, attention)
+        assert bucketed.data.shape == full.data.shape
+        # Trimming the sequence width changes BLAS blocking, so agreement is
+        # up to float32 rounding noise, not bitwise.
+        np.testing.assert_allclose(bucketed.data, full.data, rtol=1e-4, atol=1e-6)
+
+    def test_predictions_invariant_to_feature_bucket_size(self, tokenizer,
+                                                          label_vocabulary, processed):
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        examples = trainer.prepare_examples(processed)
+        trainer.FEATURE_BUCKET_SIZE = 2
+        tiny_buckets = trainer.predict(examples)
+        trainer.FEATURE_BUCKET_SIZE = 10_000
+        one_bucket = trainer.predict(examples)
+        assert tiny_buckets == one_bucket
+
+    def test_feature_vectors_full_width_while_training(self, tokenizer,
+                                                       label_vocabulary, processed):
+        from repro.nn.tensor import Tensor
+
+        trainer = _make_trainer(tokenizer, label_vocabulary)
+        trainer.model.train()
+        flat = trainer._flatten_columns(trainer.prepare_examples(processed[:4]))
+        out = trainer._feature_vectors(flat["features"], flat["feature_attention"])
+        # The training path must return the graph-connected single call (the
+        # bucketed path yields a detached constant tensor).
+        assert isinstance(out, Tensor)
+        assert out.requires_grad
+        assert out.data.shape[0] == flat["features"].shape[0]
+
     def test_evaluate_returns_percentages(self, tokenizer, label_vocabulary, processed):
         trainer = _make_trainer(tokenizer, label_vocabulary)
         examples = trainer.prepare_examples(processed[:5])

@@ -1,0 +1,232 @@
+"""Shared conformance suite for the pluggable retrieval backends.
+
+Every registered :class:`~repro.kg.backends.RetrievalBackend` implementation
+must satisfy the same observable contract: deterministic ``(-score, doc_id)``
+ranking, positive-score hits only, batch/sequential agreement, and a
+compiled-state round trip that serves identical results without the original
+documents.  The suite is parametrised over backend factories so a future
+third backend only needs to add itself to ``BACKEND_FACTORIES``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.backends import (
+    BM25Index,
+    CharNGramIndex,
+    RetrievalBackend,
+    create_backend,
+    backend_from_documents,
+    reference_search,
+    restore_backend,
+)
+
+DOCUMENTS = [
+    ("e01", "alpha beta gamma"),
+    ("e02", "alpha beta"),
+    ("e03", "beta gamma delta"),
+    ("e04", "delta epsilon"),
+    ("e05", "gamma gamma gamma"),
+    ("e06", "zeta eta theta"),
+    ("e07", "alpha delta theta"),
+    ("e08", "iota kappa"),
+]
+
+BACKEND_FACTORIES = {
+    "bm25": lambda: BM25Index(),
+    "bm25_f32": lambda: BM25Index(dtype=np.float32),
+    "char_ngram": lambda: CharNGramIndex(),
+    "char_ngram_f64": lambda: CharNGramIndex(dtype=np.float64),
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES))
+def backend(request):
+    index = BACKEND_FACTORIES[request.param]()
+    for doc_id, text in DOCUMENTS:
+        index.add_document(doc_id, text)
+    return index
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, RetrievalBackend)
+
+    def test_registered_name_round_trips(self, backend):
+        name = type(backend).backend_name
+        assert type(create_backend(name)) is type(backend)
+
+    def test_len_and_contains(self, backend):
+        assert len(backend) == len(DOCUMENTS)
+        assert "e01" in backend
+        assert "nope" not in backend
+
+    def test_duplicate_document_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend.add_document("e01", "duplicate")
+
+    def test_finalize_idempotent_and_invalidated_by_add(self, backend):
+        assert not backend.is_finalized
+        backend.finalize()
+        assert backend.is_finalized
+        backend.finalize()
+        assert backend.is_finalized
+        backend.add_document("e99", "alpha")
+        assert not backend.is_finalized
+        assert backend.search("alpha", top_k=20)  # self-finalizes
+
+    def test_empty_query_and_nonpositive_top_k(self, backend):
+        assert backend.search("", top_k=5) == []
+        assert backend.search("   ", top_k=5) == []
+        assert backend.search("alpha", top_k=0) == []
+        assert backend.search("alpha", top_k=-3) == []
+
+    def test_no_overlap_returns_no_hits(self, backend):
+        assert backend.search("qqqqqq wwwwww", top_k=5) == []
+
+    def test_hits_ranked_by_score_then_doc_id(self, backend):
+        hits = backend.search("alpha beta gamma delta", top_k=len(DOCUMENTS))
+        assert hits, "query overlaps several documents"
+        keys = [(-hit.score, hit.doc_id) for hit in hits]
+        assert keys == sorted(keys)
+        assert all(hit.score > 0.0 for hit in hits)
+        assert len({hit.doc_id for hit in hits}) == len(hits)
+
+    def test_top_k_truncates(self, backend):
+        full = backend.search("alpha beta gamma delta", top_k=len(DOCUMENTS))
+        assert backend.search("alpha beta gamma delta", top_k=2) == full[:2]
+
+    def test_deterministic(self, backend):
+        first = backend.search("alpha gamma", top_k=5)
+        assert backend.search("alpha gamma", top_k=5) == first
+
+    def test_exact_ties_break_by_doc_id(self):
+        # Fresh index per factory: identical documents must tie exactly and
+        # come back in doc-id order regardless of insertion order.
+        for name, factory in BACKEND_FACTORIES.items():
+            index = factory()
+            for doc_id in ("b", "c", "a"):
+                index.add_document(doc_id, "same exact text")
+            hits = index.search("same exact text", top_k=3)
+            assert [hit.doc_id for hit in hits] == ["a", "b", "c"], name
+            assert len({hit.score for hit in hits}) == 1, name
+
+    def test_search_batch_matches_sequential(self, backend):
+        queries = ["alpha", "beta gamma", "", "delta epsilon", "unknownterm"]
+        batched = backend.search_batch(queries, top_k=4)
+        assert batched == [backend.search(query, top_k=4) for query in queries]
+
+    def test_export_restore_round_trip(self, backend):
+        queries = ["alpha", "beta gamma delta", "gamma", "iota kappa"]
+        expected = backend.search_batch(queries, top_k=5)
+        state = backend.export_state()
+        restored = restore_backend(type(backend).backend_name, state)
+        assert len(restored) == len(backend)
+        assert "e01" in restored
+        assert restored.is_finalized
+        assert restored.search_batch(queries, top_k=5) == expected
+
+    def test_restored_backend_is_query_only(self, backend):
+        restored = restore_backend(type(backend).backend_name, backend.export_state())
+        with pytest.raises(RuntimeError):
+            restored.add_document("e99", "text")
+
+    def test_restored_bm25_builder_queries_raise(self):
+        # Builder-side statistics have no data on a restored index; they must
+        # fail loudly instead of returning silently wrong zeros.
+        index = BM25Index.build(DOCUMENTS)
+        restored = BM25Index.from_state(index.export_state())
+        for call in (lambda: restored.score("alpha", "e01"),
+                     lambda: restored.idf("alpha"),
+                     lambda: restored.document_frequency("alpha"),
+                     lambda: restored.average_document_length):
+            with pytest.raises(RuntimeError):
+                call()
+
+    def test_export_state_is_plain_arrays(self, backend):
+        state = backend.export_state()
+        assert state
+        for key, value in state.items():
+            assert isinstance(key, str)
+            assert isinstance(value, np.ndarray), key
+
+
+class TestRegistry:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            create_backend("no-such-backend")
+        with pytest.raises(ValueError):
+            restore_backend("no-such-backend", {})
+
+    def test_backend_from_documents_builds_finalized(self):
+        backend = backend_from_documents(DOCUMENTS, "char_ngram")
+        assert backend.is_finalized
+        assert len(backend) == len(DOCUMENTS)
+
+
+class TestCharNGram:
+    def test_typo_tolerance(self):
+        index = CharNGramIndex()
+        for doc_id, text in DOCUMENTS:
+            index.add_document(doc_id, text)
+        # "gamm" shares most character n-grams with "gamma"; BM25 would
+        # find nothing for this query, the n-gram backend must.
+        hits = index.search("gamm", top_k=3)
+        assert hits
+        assert hits[0].doc_id == "e05"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CharNGramIndex(n=1)
+        with pytest.raises(ValueError):
+            CharNGramIndex(dim=0)
+        with pytest.raises(ValueError):
+            CharNGramIndex(dtype=np.int32)
+
+
+class TestBM25Dtype:
+    """The ROADMAP's float32-postings lever: halve memory, keep the tie-break."""
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            BM25Index(dtype=np.int64)
+
+    def test_float32_postings_array_dtype(self):
+        index = BM25Index.build(DOCUMENTS, dtype=np.float32)
+        index.finalize()
+        assert index._posting_impacts.dtype == np.float32
+        assert BM25Index.build(DOCUMENTS).export_state()[
+            "posting_impacts"
+        ].dtype == np.float64
+
+    def test_float32_scores_close_to_scalar_oracle(self, rng):
+        vocab = [f"w{i}" for i in range(40)]
+        documents = [
+            (f"d{i:03d}", " ".join(rng.choice(vocab, size=rng.integers(3, 9))))
+            for i in range(150)
+        ]
+        f32 = BM25Index.build(documents, dtype=np.float32)
+        oracle = BM25Index.build(documents)  # float64, bitwise-equal to score()
+        for query in ["w0 w1", "w5", "w10 w11 w12", "w39 w0"]:
+            expected = reference_search(oracle, query, top_k=10)
+            got = f32.search(query, top_k=10)
+            assert [hit.doc_id for hit in got] == [hit.doc_id for hit in expected]
+            np.testing.assert_allclose(
+                [hit.score for hit in got],
+                [hit.score for hit in expected],
+                rtol=1e-6,
+            )
+
+    def test_float32_tie_break_stable_against_oracle(self):
+        # Exact ties (duplicate documents) produce identical impacts in both
+        # dtypes, so the (-score, doc_id) order must match the float64 scalar
+        # oracle exactly even at the float32 precision.
+        documents = [(f"doc{i:02d}", "tied text here") for i in range(30)]
+        documents += [("extra1", "tied text"), ("extra2", "here text")]
+        f32 = BM25Index.build(documents, dtype=np.float32)
+        oracle = BM25Index.build(documents)
+        expected = reference_search(oracle, "tied text here", top_k=12)
+        got = f32.search("tied text here", top_k=12)
+        assert [hit.doc_id for hit in got] == [hit.doc_id for hit in expected]

@@ -1,0 +1,298 @@
+"""Tests of the serving layer: bundles, the annotation service and streaming.
+
+The central guarantee: a bundle saved from a fitted annotator serves
+*bitwise-identical* predictions from a process that holds no
+:class:`~repro.kg.graph.KnowledgeGraph` and performs no index rebuild.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
+from repro.data.corpus import TableCorpus
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.snapshot import KGSnapshot
+from repro.serve import AnnotationService, ServiceBundle
+
+TINY_CONFIG = KGLinkConfig(
+    epochs=1, batch_size=4, learning_rate=1e-3, pretrain_steps=2,
+    hidden_size=32, num_layers=1, num_heads=2, intermediate_size=48,
+    top_k_rows=5, max_tokens_per_column=12, vocab_size=900,
+    max_position_embeddings=140, max_feature_tokens=8,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted(graph, linker, semtab_splits):
+    train = TableCorpus("train", semtab_splits.train.tables[:10],
+                        semtab_splits.train.label_vocabulary)
+    annotator = KGLinkAnnotator(graph, TINY_CONFIG, linker=linker)
+    annotator.fit(train)
+    return annotator
+
+
+@pytest.fixture(scope="module")
+def serve_tables(semtab_splits):
+    return semtab_splits.test.tables[:7]
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(fitted, tmp_path_factory):
+    return ServiceBundle.from_annotator(fitted).save(
+        tmp_path_factory.mktemp("bundles") / "svc"
+    )
+
+
+class TestKGSnapshot:
+    def test_matches_graph_surface(self, graph):
+        snapshot = KGSnapshot.from_graph(graph)
+        assert len(snapshot) == len(graph)
+        entity = next(iter(graph.entities()))
+        probe = entity.entity_id
+        assert probe in snapshot
+        assert snapshot.entity(probe).label == entity.label
+        assert snapshot.entity(probe).schema == entity.schema
+        assert snapshot.one_hop_neighbors(probe) == graph.one_hop_neighbors(probe)
+        assert (snapshot.neighborhood_with_predicates(probe)
+                == graph.neighborhood_with_predicates(probe))
+
+    def test_payload_round_trip(self, graph):
+        snapshot = KGSnapshot.from_graph(graph)
+        payload = json.loads(json.dumps(snapshot.to_payload()))
+        restored = KGSnapshot.from_payload(payload)
+        assert len(restored) == len(snapshot)
+        for entity in list(snapshot.entities())[:25]:
+            probe = entity.entity_id
+            assert restored.entity(probe) == entity
+            assert (restored.neighborhood_with_predicates(probe)
+                    == snapshot.neighborhood_with_predicates(probe))
+
+    def test_from_graph_idempotent_on_snapshot(self, graph):
+        snapshot = KGSnapshot.from_graph(graph)
+        assert KGSnapshot.from_graph(snapshot) is snapshot
+
+
+class TestServiceBundle:
+    def test_unfitted_annotator_rejected(self, graph):
+        with pytest.raises(RuntimeError):
+            ServiceBundle.from_annotator(KGLinkAnnotator(graph, TINY_CONFIG))
+
+    def test_save_writes_versioned_layout(self, bundle_dir):
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        assert manifest["format_version"] == 2
+        assert manifest["backend"]["name"] == "bm25"
+        assert (bundle_dir / "model.npz").exists()
+        assert (bundle_dir / "index.npz").exists()
+        assert (bundle_dir / "graph.json").exists()
+
+    def test_load_restores_components(self, bundle_dir, fitted):
+        bundle = ServiceBundle.load(bundle_dir)
+        assert bundle.config == fitted.config
+        assert bundle.label_vocabulary == fitted.label_vocabulary
+        assert bundle.tokenizer.vocab_size == fitted.tokenizer.vocab_size
+        assert bundle.backend.is_finalized
+        assert len(bundle.backend) == len(fitted.linker.index)
+        assert bundle.linker_config == fitted.linker.config
+        assert bundle.metadata["graph_entities"] == len(fitted.graph)
+
+    def test_custom_linker_config_round_trips(self, graph, semtab_splits, tmp_path):
+        from repro.kg.linker import EntityLinker, LinkerConfig
+
+        linker_config = LinkerConfig(max_candidates=3, link_numbers_and_dates=True)
+        annotator = KGLinkAnnotator(graph, TINY_CONFIG,
+                                    linker=EntityLinker(graph, linker_config))
+        train = TableCorpus("train", semtab_splits.train.tables[:6],
+                            semtab_splits.train.label_vocabulary)
+        annotator.fit(train)
+        directory = ServiceBundle.from_annotator(annotator).save(tmp_path / "svc")
+        service = AnnotationService.load(directory)
+        # The served linker keeps the *trained* retrieval settings, not the
+        # defaults KGLinkConfig would reconstruct.
+        assert service.linker.config == linker_config
+        tables = semtab_splits.test.tables[:3]
+        assert (service.annotate_batch(tables)
+                == [annotator.annotate(table) for table in tables])
+
+    def test_unsupported_format_rejected(self, bundle_dir, tmp_path):
+        clone = tmp_path / "clone"
+        clone.mkdir()
+        for item in bundle_dir.iterdir():
+            (clone / item.name).write_bytes(item.read_bytes())
+        manifest = json.loads((clone / "manifest.json").read_text())
+        manifest["format_version"] = 99
+        (clone / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError):
+            ServiceBundle.load(clone)
+
+
+def _assert_no_knowledge_graph(service):
+    assert not isinstance(service.bundle.graph_view, KnowledgeGraph)
+    assert not isinstance(service.extractor.graph, KnowledgeGraph)
+    assert service.linker.graph is None
+
+
+class TestAnnotationService:
+    def test_round_trip_predictions_bitwise_equal(self, bundle_dir, fitted,
+                                                  serve_tables):
+        service = AnnotationService.load(bundle_dir)
+        _assert_no_knowledge_graph(service)
+        expected = [fitted.annotate(table) for table in serve_tables]
+        assert service.annotate_batch(serve_tables) == expected
+        assert [service.annotate(table) for table in serve_tables] == expected
+
+    def test_into_service_matches_loaded_service(self, bundle_dir, fitted,
+                                                 serve_tables):
+        in_process = fitted.into_service()
+        loaded = AnnotationService.load(bundle_dir)
+        assert (in_process.annotate_batch(serve_tables)
+                == loaded.annotate_batch(serve_tables))
+
+    def test_annotate_batch_empty(self, bundle_dir):
+        service = AnnotationService.load(bundle_dir)
+        assert service.annotate_batch([]) == []
+
+    def test_invalid_max_batch_rejected(self, bundle_dir):
+        with pytest.raises(ValueError):
+            AnnotationService.load(bundle_dir, max_batch=0)
+
+    def test_cache_is_bounded_and_counts(self, bundle_dir, serve_tables):
+        service = AnnotationService.load(bundle_dir, cache_size=2)
+        service.annotate_batch(serve_tables)
+        stats = service.stats()
+        assert stats.cache_size <= 2
+        assert stats.cache_misses == len(serve_tables)
+        service.annotate(serve_tables[-1])  # most recent entry: a hit
+        assert service.stats().cache_hits >= 1
+
+    def test_stats_telemetry(self, bundle_dir, serve_tables):
+        service = AnnotationService.load(bundle_dir)
+        service.annotate_batch(serve_tables)
+        stats = service.stats()
+        assert stats.requests == 1
+        assert stats.tables == len(serve_tables)
+        assert stats.part1_seconds > 0.0
+        assert stats.encode_seconds > 0.0
+        assert stats.batches >= 1
+        assert 0.0 < stats.bucket_fill <= 1.0
+        assert stats.useful_tokens > 0
+        payload = stats.as_dict()
+        assert payload["bucket_fill"] == stats.bucket_fill
+        service.reset_stats()
+        zeroed = service.stats()
+        assert zeroed.requests == 0 and zeroed.tables == 0
+        assert zeroed.cache_hits == 0 and zeroed.cache_misses == 0
+
+
+class TestAnnotateStream:
+    @pytest.mark.parametrize("max_batch", [1, 2, 3, 5, 7, 50])
+    def test_ordering_under_ragged_batches(self, bundle_dir, serve_tables,
+                                           max_batch):
+        service = AnnotationService.load(bundle_dir)
+        expected = service.annotate_batch(serve_tables)
+        streamed = list(service.annotate_stream(serve_tables, max_batch=max_batch))
+        assert streamed == expected
+
+    def test_stream_is_lazy_and_accepts_generators(self, bundle_dir, serve_tables):
+        service = AnnotationService.load(bundle_dir)
+        consumed: list[str] = []
+
+        def feed():
+            for table in serve_tables:
+                consumed.append(table.table_id)
+                yield table
+
+        stream = service.annotate_stream(feed(), max_batch=2)
+        assert consumed == []  # nothing pulled before iteration
+        first = next(stream)
+        assert isinstance(first, list)
+        # Pipelining prefetches at most the next micro-batch, not the world.
+        assert len(consumed) <= 4
+        rest = list(stream)
+        assert [first, *rest] == service.annotate_batch(serve_tables)
+
+    def test_empty_stream(self, bundle_dir):
+        service = AnnotationService.load(bundle_dir)
+        assert list(service.annotate_stream(iter(()))) == []
+
+    def test_annotate_during_stream_is_safe(self, bundle_dir, serve_tables):
+        reference = AnnotationService.load(bundle_dir)
+        expected = reference.annotate_batch(serve_tables)
+        # cache_size=0 forces full Part 1 on every request, so the consumer's
+        # annotate() genuinely contends with the stream's background worker
+        # for the shared retrieval backend (serialized by the prepare lock).
+        service = AnnotationService.load(bundle_dir, cache_size=0)
+        streamed = []
+        for index, labels in enumerate(
+            service.annotate_stream(serve_tables, max_batch=2)
+        ):
+            streamed.append(labels)
+            assert service.annotate(serve_tables[0]) == expected[0], index
+        assert streamed == expected
+
+    def test_invalid_max_batch(self, bundle_dir, serve_tables):
+        service = AnnotationService.load(bundle_dir)
+        with pytest.raises(ValueError):
+            list(service.annotate_stream(serve_tables, max_batch=-1))
+
+
+class TestDeprecationShims:
+    def test_save_annotator_writes_bundle(self, fitted, graph, serve_tables,
+                                          tmp_path):
+        from repro.core.persistence import load_annotator, save_annotator
+
+        with pytest.deprecated_call():
+            directory = save_annotator(fitted, tmp_path / "legacy")
+        # The shim now writes a full bundle: serving works graph-free...
+        service = AnnotationService.load(directory)
+        expected = [fitted.annotate(table) for table in serve_tables]
+        assert service.annotate_batch(serve_tables) == expected
+        # ...and the legacy loader still returns a training facade, without
+        # rebuilding the retrieval index from the graph.
+        with pytest.deprecated_call():
+            restored = load_annotator(directory, graph)
+        assert restored.linker.index.is_finalized
+        assert [restored.annotate(table) for table in serve_tables] == expected
+
+
+class TestCharNGramServing:
+    def test_bundle_round_trip_with_second_backend(self, graph, semtab_splits,
+                                                   tmp_path):
+        from repro.kg.linker import EntityLinker, LinkerConfig
+
+        train = TableCorpus("train", semtab_splits.train.tables[:8],
+                            semtab_splits.train.label_vocabulary)
+        linker = EntityLinker(
+            graph, LinkerConfig(max_candidates=8, backend="char_ngram")
+        )
+        annotator = KGLinkAnnotator(graph, TINY_CONFIG, linker=linker)
+        annotator.fit(train)
+        tables = semtab_splits.test.tables[:3]
+        expected = [annotator.annotate(table) for table in tables]
+
+        directory = ServiceBundle.from_annotator(annotator).save(tmp_path / "svc")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["backend"]["name"] == "char_ngram"
+        service = AnnotationService.load(directory)
+        _assert_no_knowledge_graph(service)
+        assert service.annotate_batch(tables) == expected
+
+
+class TestAnnotatorCache:
+    def test_processed_cache_is_bounded_lru(self, graph, linker, semtab_splits):
+        config = dataclasses.replace(TINY_CONFIG, processed_cache_size=3)
+        annotator = KGLinkAnnotator(graph, config, linker=linker)
+        tables = semtab_splits.train.tables[:5]
+        annotator._process(tables)
+        info = annotator.processed_cache_info()
+        assert info.maxsize == 3
+        assert info.currsize <= 3
+        assert info.misses == 5
+        assert info.evictions == 2
+        annotator._process([tables[-1]])  # most recent: a hit, no new miss
+        info = annotator.processed_cache_info()
+        assert info.hits == 1
+        assert info.misses == 5
