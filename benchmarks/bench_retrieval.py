@@ -7,12 +7,25 @@ scale at which the paper resorts to Elasticsearch), then times
 * the vectorized ``BM25Index.search`` path,
 * the seed scalar path (candidate set from postings, one ``score()`` call per
   candidate) as the baseline the speedup is measured against,
+* float32 postings (the default since PR 5) against the float64 index:
+  per-query recall@10 parity and search latency,
+* sharded search: the same query stream through a ``ShardedBackend`` whose
+  shards are served by a process pool, vs the unsharded index,
 * sequential ``EntityLinker.link`` vs ``EntityLinker.link_batch`` throughput
   on a mention stream with realistic duplication,
 * serving throughput: a tiny trained system exported through
   ``KGLinkAnnotator.into_service()`` and hit with the same tables as a
   one-table ``annotate()`` loop vs one ``annotate_batch()`` request (the
-  Part-1 cache is pre-warmed, so the ratio isolates Part-2 micro-batching).
+  Part-1 cache is pre-warmed, so the ratio isolates Part-2 micro-batching),
+  plus a cold-cache ``annotate_batch`` with the Part-1 prepare stage on a
+  process pool vs serial in-process preparation.
+
+The pool-backed ratios (``sharded_search_speedup``,
+``process_pool_annotate_speedup``) depend on how many cores the host grants;
+the worker counts used are recorded next to the numbers.  On a single-core
+box both ratios hover at or below 1.0 — the benchmark then documents the
+fan-out overhead rather than a win, and the CI gate simply holds future PRs
+to whatever the committed baseline machine achieved.
 
 Results are written as JSON (``scripts/run_benchmarks.sh`` commits them to
 ``BENCH_retrieval.json``) so the performance trajectory is tracked per PR.
@@ -31,9 +44,10 @@ from datetime import datetime, timezone
 
 import numpy as np
 
-from repro.kg.backends import BM25Index, SearchHit, reference_search
+from repro.kg.backends import BM25Index, SearchHit, ShardedBackend, reference_search
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.linker import EntityLinker, LinkerConfig
+from repro.runtime import ProcessExecutor, default_worker_count
 
 
 class _SeedSearchAdapter:
@@ -71,6 +85,56 @@ def make_queries(documents: list[tuple[str, str]], n_queries: int, seed: int) ->
         n_words = min(len(words), int(rng.integers(1, 4)))
         queries.append(" ".join(words[:n_words]))
     return queries
+
+
+def measure_float32(index: BM25Index, documents: list[tuple[str, str]],
+                    queries: list[str], top_k: int,
+                    f64_hits: list[list[SearchHit]]) -> dict:
+    """Float32-postings parity and latency against the float64 index."""
+    f32 = BM25Index.build(documents, dtype=np.float32)
+    f32.finalize()
+    start = time.perf_counter()
+    f32_hits = f32.search_batch(queries, top_k=top_k)
+    f32_seconds = time.perf_counter() - start
+    overlaps = []
+    for fast, exact in zip(f32_hits, f64_hits):
+        want = {hit.doc_id for hit in exact}
+        got = {hit.doc_id for hit in fast}
+        overlaps.append(len(want & got) / len(want) if want else 1.0)
+    return {
+        "float32_search_ms_per_query": round(f32_seconds / len(queries) * 1e3, 4),
+        "float32_recall_at_10": round(float(np.mean(overlaps)), 6),
+        "float32_postings_bytes": int(f32._posting_impacts.nbytes),
+        "float64_postings_bytes": int(index._posting_impacts.nbytes),
+    }
+
+
+def measure_sharded(index: BM25Index, queries: list[str], top_k: int,
+                    num_shards: int, workers: int) -> dict:
+    """Sharded ``search_batch`` on a process pool vs the unsharded index."""
+    executor = ProcessExecutor(max_workers=workers)
+    sharded = ShardedBackend(index, num_shards=num_shards, executor=executor)
+    try:
+        sharded_hits = sharded.search_batch(queries, top_k=top_k)  # warm pool
+        flat_seconds = float("inf")
+        sharded_seconds = float("inf")
+        for _ in range(3):  # best-of-3 per path to damp scheduler noise
+            start = time.perf_counter()
+            flat_hits = index.search_batch(queries, top_k=top_k)
+            flat_seconds = min(flat_seconds, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            sharded_hits = sharded.search_batch(queries, top_k=top_k)
+            sharded_seconds = min(sharded_seconds, time.perf_counter() - start)
+        assert sharded_hits == flat_hits, "sharded search diverged from unsharded"
+    finally:
+        sharded.close()
+    return {
+        "num_shards": num_shards,
+        "shard_workers": workers,
+        "sharded_search_ms_per_query": round(sharded_seconds / len(queries) * 1e3, 4),
+        "sharded_search_speedup": round(flat_seconds / sharded_seconds, 2),
+    }
 
 
 def run_serving(seed: int, n_tables: int = 64, max_batch: int = 16) -> dict:
@@ -116,6 +180,33 @@ def run_serving(seed: int, n_tables: int = 64, max_batch: int = 16) -> dict:
     loop_rate = len(serve_tables) / loop_seconds
     batch_rate = len(serve_tables) / batch_seconds
     stats = service.stats()
+
+    # Cold-cache annotate_batch with the Part-1 prepare stage on a process
+    # pool vs serial in-process preparation.  cache_size=0 forces the full
+    # Part-1 + serialisation work on every request, which is exactly the
+    # stage the pool distributes.  Capped at 2 workers so the CI-gated ratio
+    # varies as little as possible between hosts with different core counts
+    # (any machine with >= 2 free cores measures roughly the same thing).
+    workers = default_worker_count(cap=2)
+    serial_service = annotator.into_service(max_batch=max_batch, cache_size=0)
+    pool_service = annotator.into_service(
+        max_batch=max_batch, cache_size=0, processes=workers
+    )
+    with pool_service:
+        pooled = pool_service.annotate_batch(serve_tables)  # warm the pool
+        serial_seconds = float("inf")
+        pool_seconds = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            serial_annotated = serial_service.annotate_batch(serve_tables)
+            serial_seconds = min(serial_seconds, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            pooled = pool_service.annotate_batch(serve_tables)
+            pool_seconds = min(pool_seconds, time.perf_counter() - start)
+        assert pooled == warm and serial_annotated == warm, \
+            "process-pool serving diverged"
+
     return {
         "n_tables": len(serve_tables),
         "max_batch": max_batch,
@@ -124,6 +215,12 @@ def run_serving(seed: int, n_tables: int = 64, max_batch: int = 16) -> dict:
         "batch_vs_loop_speedup": round(batch_rate / loop_rate, 2),
         "bucket_fill": round(stats.bucket_fill, 3),
         "part1_cache_hit_rate": round(stats.cache_hit_rate, 3),
+        "prepare_workers": workers,
+        "tables_per_second_cold_serial": round(
+            len(serve_tables) / serial_seconds, 1
+        ),
+        "tables_per_second_cold_pool": round(len(serve_tables) / pool_seconds, 1),
+        "process_pool_annotate_speedup": round(serial_seconds / pool_seconds, 2),
     }
 
 
@@ -131,8 +228,10 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
         top_k: int, seed: int) -> dict:
     documents = build_corpus(n_docs, vocab_size, seed)
 
+    # The float64 index is the oracle-comparable configuration (bitwise equal
+    # to the scalar reference); the float32 default is measured separately.
     start = time.perf_counter()
-    index = BM25Index.build(documents)
+    index = BM25Index.build(documents, dtype=np.float64)
     build_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -156,6 +255,15 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
 
     vector_per_query = vector_seconds / len(queries)
     scalar_per_query = scalar_seconds / len(scalar_queries)
+
+    float32_metrics = measure_float32(index, documents, queries, top_k, vector_hits)
+    # Capped at 2 workers: see the prepare-pool note in run_serving — the
+    # gated ratio should measure the fan-out plumbing, not the host's cores.
+    shard_workers = default_worker_count(cap=2)
+    sharded_metrics = measure_sharded(
+        index, queries, top_k,
+        num_shards=max(2, shard_workers), workers=shard_workers,
+    )
 
     # Linker throughput on a mention stream with heavy duplication (the same
     # entities recur across table cells).  Fresh linkers so caches are cold.
@@ -205,6 +313,7 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
             "vector_search_ms_per_query": round(vector_per_query * 1e3, 4),
             "scalar_search_ms_per_query": round(scalar_per_query * 1e3, 4),
             "search_speedup": round(scalar_per_query / vector_per_query, 2),
+            **float32_metrics,
         },
         "linker": {
             "n_mentions": len(mentions),
@@ -215,7 +324,7 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
             "seed_engine_mentions_per_second": round(seed_rate, 1),
             "engine_speedup": round(batch_rate / seed_rate, 2),
         },
-        "serving": run_serving(seed),
+        "serving": {**sharded_metrics, **run_serving(seed)},
     }
 
 

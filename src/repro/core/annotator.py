@@ -79,6 +79,9 @@ class KGLinkConfig:
     learning_rate: float = 3e-4
     weight_decay: float = 0.01
     temperature: float = 2.0
+    # Shuffle within length buckets per epoch so training batches pad to
+    # similar lengths; off by default to keep seeded runs bitwise-stable.
+    length_bucketed_training: bool = False
     early_stopping_patience: int = 3
     fixed_log_sigma0_sq: float | None = None
     fixed_log_sigma1_sq: float | None = None
@@ -123,6 +126,7 @@ class KGLinkConfig:
             learning_rate=self.learning_rate,
             weight_decay=self.weight_decay,
             temperature=self.temperature,
+            length_bucketing=self.length_bucketed_training,
             use_mask_task=self.use_mask_task,
             use_feature_vector=self.use_feature_vector,
             use_candidate_types=self.use_candidate_types,
@@ -297,18 +301,39 @@ class KGLinkAnnotator:
         processed = self._process(corpus.tables)
         return self.extractor.link_statistics(processed)
 
-    def into_service(self, max_batch: int = 16, cache_size: int = 1024):
+    def close(self) -> None:
+        """Shut down worker pools behind a sharded linker this annotator uses.
+
+        Delegates to :meth:`EntityLinker.close`, which only tears down a
+        shard executor the linker itself created (``LinkerConfig.num_shards
+        > 1``) — injected indexes stay up.  Needed when loading format-3
+        bundles with a process shard plan through the legacy
+        ``load_annotator`` shim, which otherwise leaks the pool.
+        """
+        self.linker.close()
+
+    def __enter__(self) -> "KGLinkAnnotator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def into_service(self, max_batch: int = 16, cache_size: int = 1024,
+                     processes: int = 0, executor=None):
         """Export this fitted annotator as a serving-shaped front door.
 
         Returns a :class:`~repro.serve.service.AnnotationService` built on an
         in-memory :class:`~repro.serve.bundle.ServiceBundle`: the compiled
         retrieval index, a graph snapshot, the tokenizer, the label
         vocabulary and the model weights — everything ``bundle.save()``
-        would persist.  The annotator keeps working as the training facade.
+        would persist.  ``processes``/``executor`` configure the service's
+        Part-1 prepare stage (see :class:`AnnotationService`).  The annotator
+        keeps working as the training facade.
         """
         from repro.serve.bundle import ServiceBundle
         from repro.serve.service import AnnotationService
 
         return AnnotationService(
-            ServiceBundle.from_annotator(self), max_batch=max_batch, cache_size=cache_size
+            ServiceBundle.from_annotator(self), max_batch=max_batch,
+            cache_size=cache_size, processes=processes, executor=executor,
         )

@@ -6,10 +6,15 @@ tables keyed by table id.  The seed kept that cache in an unbounded dict,
 which grows for the life of the object — fatal for a long-lived serving
 process.  :class:`LRUCache` bounds it with least-recently-used eviction and
 exposes hit/miss/eviction counters for telemetry.
+
+The cache is thread-safe: ``get``/``put`` and the counters are serialized by
+an internal lock, so services answering ``annotate`` from several threads
+cannot lose hit/miss increments or corrupt the recency order.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, NamedTuple, TypeVar
 
@@ -35,12 +40,15 @@ class LRUCache(Generic[K, V]):
     ``get`` refreshes recency and counts a hit or miss; ``put`` inserts (or
     refreshes) a key and evicts the least recently used entry once ``maxsize``
     is exceeded.  ``maxsize <= 0`` disables caching entirely (every ``put``
-    is dropped), which keeps call sites free of conditionals.
+    is dropped), which keeps call sites free of conditionals.  All mutating
+    operations hold an internal lock, so concurrent callers see consistent
+    counters and an intact recency list.
     """
 
     def __init__(self, maxsize: int = 1024):
         self.maxsize = int(maxsize)
         self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -48,25 +56,27 @@ class LRUCache(Generic[K, V]):
     # ------------------------------------------------------------------ #
     def get(self, key: K, default: V | None = None) -> V | None:
         """Return the cached value (refreshing recency) or ``default``."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: K, value: V) -> None:
         """Insert ``key`` and evict the least recently used overflow."""
         if self.maxsize <= 0:
             return
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -78,14 +88,23 @@ class LRUCache(Generic[K, V]):
 
     def clear(self) -> None:
         """Drop all entries; the counters keep accumulating."""
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters (entries stay warm)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
 
     def cache_info(self) -> CacheInfo:
         """Current counters (hits, misses, maxsize, currsize, evictions)."""
-        return CacheInfo(
-            hits=self.hits,
-            misses=self.misses,
-            maxsize=self.maxsize,
-            currsize=len(self._data),
-            evictions=self.evictions,
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                maxsize=self.maxsize,
+                currsize=len(self._data),
+                evictions=self.evictions,
+            )

@@ -69,7 +69,7 @@ def load_annotator(directory: str | Path, graph: KnowledgeGraph,
     fall back to the old rebuild.
     """
     from repro.serve.bundle import (
-        BUNDLE_FORMAT_VERSION,
+        SUPPORTED_BUNDLE_FORMATS,
         ServiceBundle,
         tokenizer_from_tokens,
     )
@@ -84,7 +84,7 @@ def load_annotator(directory: str | Path, graph: KnowledgeGraph,
     manifest = json.loads((directory / _MANIFEST).read_text())
     version = manifest.get("format_version")
 
-    if version == BUNDLE_FORMAT_VERSION:
+    if version in SUPPORTED_BUNDLE_FORMATS:
         bundle = ServiceBundle.load(directory)
         if linker is None:
             linker = EntityLinker(graph, bundle.linker_config, index=bundle.backend)

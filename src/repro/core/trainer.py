@@ -49,6 +49,11 @@ class TrainingConfig:
     weight_decay: float = 0.01
     max_grad_norm: float = 1.0
     temperature: float = 2.0
+    # Length-bucketed training batches: each epoch's shuffle happens within
+    # serialized-length buckets (and the batch order is re-shuffled), so
+    # batches pad to similar lengths.  Off by default: the plain permutation
+    # keeps seeded training trajectories bitwise-stable.
+    length_bucketing: bool = False
     use_mask_task: bool = True
     use_feature_vector: bool = True
     use_candidate_types: bool = True
@@ -299,6 +304,27 @@ class KGLinkTrainer:
     # ------------------------------------------------------------------ #
     # training
     # ------------------------------------------------------------------ #
+    def _bucketed_training_order(self, shuffled: np.ndarray,
+                                 lengths: np.ndarray) -> np.ndarray:
+        """Length-bucketed epoch order derived from this epoch's shuffle.
+
+        The epoch's random permutation supplies the randomness twice over:
+        the stable sort by length keeps the permutation's order among
+        equal-length examples (shuffle *within* buckets), and a second draw
+        shuffles the batch order so the model does not always see short
+        tables first.  Batches therefore contain examples of similar
+        serialized length and pad far less than random batches, while every
+        epoch still visits a different batching.
+        """
+        by_length = shuffled[np.argsort(lengths[shuffled], kind="stable")]
+        batch_size = self.config.batch_size
+        batches = [
+            by_length[start : start + batch_size]
+            for start in range(0, len(by_length), batch_size)
+        ]
+        batch_order = self.rng.permutation(len(batches))
+        return np.concatenate([batches[i] for i in batch_order])
+
     def train(
         self,
         train_examples: list[PreparedExample],
@@ -322,9 +348,14 @@ class KGLinkTrainer:
         best_state = None
         patience_left = self.config.early_stopping_patience
 
+        lengths = np.asarray(
+            [example.masked.sequence_length for example in train_examples]
+        )
         for epoch in range(self.config.epochs):
             self.model.train()
             order = self.rng.permutation(len(train_examples))
+            if self.config.length_bucketing:
+                order = self._bucketed_training_order(order, lengths)
             for start in range(0, len(train_examples), self.config.batch_size):
                 batch = [train_examples[i] for i in order[start : start + self.config.batch_size]]
                 flat = self._flatten_columns(batch)

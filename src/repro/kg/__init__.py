@@ -27,6 +27,7 @@ from repro.kg.backends import (
     CharNGramIndex,
     RetrievalBackend,
     SearchHit,
+    ShardedBackend,
     create_backend,
     backend_from_documents,
     register_backend,
@@ -46,6 +47,7 @@ __all__ = [
     "CharNGramIndex",
     "RetrievalBackend",
     "SearchHit",
+    "ShardedBackend",
     "create_backend",
     "backend_from_documents",
     "register_backend",

@@ -1,0 +1,35 @@
+"""Execution runtime: pluggable fan-out strategies for the serving stack.
+
+See :mod:`repro.runtime.executor` for the :class:`SearchExecutor` protocol
+and the ``serial`` / ``thread`` / ``process`` implementations.  Call sites
+select one by name::
+
+    from repro.runtime import create_executor
+
+    executor = create_executor("process", max_workers=4)
+
+which is the same registry idiom the retrieval backends use
+(:func:`repro.kg.backends.create_backend`).
+"""
+
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SearchExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    create_executor,
+    default_worker_count,
+    register_executor,
+)
+
+__all__ = [
+    "SearchExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "register_executor",
+    "create_executor",
+    "available_executors",
+    "default_worker_count",
+]

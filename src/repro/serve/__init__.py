@@ -12,6 +12,10 @@ into something a production process can load and hit with traffic:
   ``annotate`` / ``annotate_batch`` / ``annotate_stream`` micro-batch tables
   through the length-bucketed prediction path under ``no_grad`` and report
   per-request telemetry (:class:`~repro.serve.service.ServiceStats`).
+  Scaling is configuration: the bundle's shard plan re-shards the retrieval
+  index through a :class:`~repro.kg.backends.ShardedBackend`
+  (bitwise-identical results) and ``processes=N`` moves Part-1 preparation
+  onto a process pool via the :mod:`repro.runtime` executors.
 
 Typical flow::
 

@@ -5,12 +5,18 @@ directory with a versioned manifest::
 
     bundle/
       manifest.json   format version, pipeline config, label vocabulary,
-                      tokenizer tokens, retrieval-backend name
+                      tokenizer tokens, retrieval-backend name, shard plan
       model.npz       encoder + head weights (dtype-policy-stamped)
       index.npz       the *compiled* retrieval index arrays (for BM25: CSR
                       postings offsets, doc ids and precomputed impacts)
       graph.json      the KG snapshot Part 1 queries (labels, schemas,
                       one-hop neighbourhoods with predicates)
+
+The index is always stored *unsharded* (one canonical copy of the compiled
+arrays); the shard plan — how many :class:`~repro.kg.backends.ShardedBackend`
+shards to slice it into and which :class:`~repro.runtime.SearchExecutor` to
+fan out with — travels in the linker config, so a fleet re-shards at load
+time without rewriting bundles.
 
 Unlike the legacy ``save_annotator``/``load_annotator`` pair (now thin shims
 over this module), a bundle is independent of the knowledge graph: loading
@@ -33,7 +39,12 @@ import numpy as np
 
 from repro.core.annotator import KGLinkConfig
 from repro.core.model import KGLinkModel
-from repro.kg.backends import BM25Parameters, RetrievalBackend, restore_backend
+from repro.kg.backends import (
+    BM25Parameters,
+    RetrievalBackend,
+    ShardedBackend,
+    restore_backend,
+)
 from repro.kg.linker import LinkerConfig
 from repro.kg.snapshot import KGSnapshot
 from repro.nn.serialization import load_state_dict, save_state_dict
@@ -44,9 +55,18 @@ from repro.text.vocab import Vocabulary
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator -> serve)
     from repro.core.annotator import KGLinkAnnotator
 
-__all__ = ["BUNDLE_FORMAT_VERSION", "ServiceBundle", "tokenizer_from_tokens"]
+__all__ = [
+    "BUNDLE_FORMAT_VERSION",
+    "SUPPORTED_BUNDLE_FORMATS",
+    "ServiceBundle",
+    "tokenizer_from_tokens",
+]
 
-BUNDLE_FORMAT_VERSION = 2
+#: Format 3 added the shard plan (``shard_plan`` in the manifest plus the
+#: ``num_shards``/``executor`` fields of the serialized linker config).
+#: Format-2 bundles predate it and load unchanged with a 1-shard plan.
+BUNDLE_FORMAT_VERSION = 3
+SUPPORTED_BUNDLE_FORMATS = (2, 3)
 
 MANIFEST_NAME = "manifest.json"
 WEIGHTS_NAME = "model.npz"
@@ -87,7 +107,13 @@ class ServiceBundle:
             raise RuntimeError("only fitted annotators can be bundled")
         backend = annotator.linker.index
         backend.finalize()
-        backend_name = getattr(type(backend), "backend_name", None)
+        if isinstance(backend, ShardedBackend):
+            # Bundles persist the canonical unsharded arrays plus the plan
+            # (already recorded in the linker config); the wrapper's
+            # export_state() returns exactly those arrays.
+            backend_name = backend.inner_backend_name
+        else:
+            backend_name = getattr(type(backend), "backend_name", None)
         if not backend_name:
             raise ValueError(
                 f"retrieval backend {type(backend).__name__} has no backend_name; "
@@ -120,6 +146,12 @@ class ServiceBundle:
             "tokenizer_tokens": list(self.tokenizer.vocabulary),
             "backend": {"name": self.backend_name, "documents": len(self.backend)},
             "linker_config": dataclasses.asdict(self.linker_config),
+            # The shard plan, surfaced for humans and fleet tooling; the
+            # authoritative copy is the linker config above.
+            "shard_plan": {
+                "num_shards": self.linker_config.num_shards,
+                "executor": self.linker_config.executor,
+            },
             **self.metadata,
         }
         (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
@@ -134,10 +166,10 @@ class ServiceBundle:
         directory = Path(directory)
         manifest = json.loads((directory / MANIFEST_NAME).read_text())
         version = manifest.get("format_version")
-        if version != BUNDLE_FORMAT_VERSION:
+        if version not in SUPPORTED_BUNDLE_FORMATS:
             raise ValueError(
                 f"unsupported bundle format {version!r} "
-                f"(this build reads format {BUNDLE_FORMAT_VERSION})"
+                f"(this build reads formats {SUPPORTED_BUNDLE_FORMATS})"
             )
         config = KGLinkConfig(**manifest["config"])
         tokenizer = tokenizer_from_tokens(manifest["tokenizer_tokens"])
@@ -163,12 +195,15 @@ class ServiceBundle:
         )
         linker_payload = dict(manifest["linker_config"])
         linker_payload["bm25"] = BM25Parameters(**linker_payload["bm25"])
+        # Format-2 manifests predate the shard plan; LinkerConfig defaults
+        # (1 shard, serial executor) reproduce their behaviour exactly.
         linker_config = LinkerConfig(**linker_payload)
         metadata = {
             key: value
             for key, value in manifest.items()
             if key not in ("format_version", "config", "label_vocabulary",
-                           "tokenizer_tokens", "backend", "linker_config")
+                           "tokenizer_tokens", "backend", "linker_config",
+                           "shard_plan")
         }
         return cls(
             config=config,

@@ -6,45 +6,61 @@ into the existing inference machinery:
 * Part-1 candidate extraction runs against the bundled
   :class:`~repro.kg.snapshot.KGSnapshot` and the restored retrieval backend —
   no :class:`~repro.kg.graph.KnowledgeGraph` object exists in a serving
-  process;
+  process.  When the bundle's shard plan says so, the backend is wrapped in a
+  :class:`~repro.kg.backends.ShardedBackend` and searches fan out across
+  index shards;
 * Part-2 inference micro-batches tables through the length-bucketed
   :meth:`~repro.core.trainer.KGLinkTrainer.predict` path under ``no_grad``;
-* :meth:`AnnotationService.annotate_stream` pipelines the two parts: a
-  single worker thread extracts candidates for micro-batch *i+1* while the
-  main thread runs PLM inference for micro-batch *i*;
+* the Part-1 prepare stage (candidate extraction + serialisation) can be
+  delegated to a :class:`~repro.runtime.SearchExecutor` — pass
+  ``processes=N`` for a process pool whose workers each hold their own copy
+  of the Part-1 machinery (built once from a picklable spec shipped through
+  the pool initializer), or inject any executor.  ``processes=0`` (the
+  default) prepares serially in-process, exactly as before;
+* :meth:`AnnotationService.annotate_stream` pipelines the stages: Part-1 of
+  micro-batch *i+1* is submitted to the executor while the main thread runs
+  PLM inference for micro-batch *i* — with a process executor the two stages
+  genuinely overlap (numpy only releases the GIL inside BLAS, so the old
+  single-worker-thread overlap was partial at best);
 * prepared tables (Part-1 output serialised into model-ready arrays) are
   memoised in a bounded :class:`~repro.core.cache.LRUCache` keyed by table
   id — a warm request skips candidate extraction *and* serialisation — and
   :meth:`AnnotationService.stats` reports per-request telemetry
   (:class:`ServiceStats`: Part-1/encode latency, bucket fill, cache hits).
 
-The service is designed for one request loop per process.  Part-1
-preparation is serialized by an internal lock, so calling ``annotate`` /
-``annotate_batch`` from the consumer loop of an in-progress
-``annotate_stream`` is safe; calling service methods from *additional
-user-created threads* is not supported (Part-2 inference shares model
-state).
+``annotate`` / ``annotate_batch`` may be called from several threads: the
+Part-1 stage, Part-2 inference (shared model state) and every telemetry
+counter are serialized by internal locks.  A single ``annotate_stream``
+generator should still be consumed from one thread, but its consumer may
+freely interleave ``annotate`` calls.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from itertools import islice
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+import numpy as np
 
 from repro.core.cache import LRUCache
 from repro.core.pipeline import KGCandidateExtractor
 from repro.core.serialization import TableSerializer
 from repro.core.trainer import KGLinkTrainer, PreparedExample
 from repro.data.table import Table
-from repro.kg.linker import EntityLinker
+from repro.kg.backends import restore_backend, shard_boundaries
+from repro.kg.linker import EntityLinker, LinkerConfig
+from repro.kg.snapshot import KGSnapshot
+from repro.runtime import ProcessExecutor, SearchExecutor
 from repro.serve.bundle import ServiceBundle
 
 __all__ = ["ServiceStats", "AnnotationService"]
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator -> serve)
+    from repro.core.annotator import KGLinkConfig
 
 
 @dataclass(frozen=True)
@@ -93,6 +109,94 @@ class ServiceStats:
         }
 
 
+# --------------------------------------------------------------------------- #
+# the distributable Part-1 prepare stage
+# --------------------------------------------------------------------------- #
+@dataclass
+class _PreparerSpec:
+    """Everything a worker needs to rebuild the Part-1 prepare stage.
+
+    Shipped to executor workers exactly once (through the pool initializer),
+    so it must be picklable: plain configs, token lists, the compiled
+    retrieval arrays and the graph snapshot — never the model, which Part 1
+    does not touch.  Each worker (or worker thread) lazily builds one
+    :class:`_Part1Preparer` from it and keeps it for the life of the pool.
+    """
+
+    config: "KGLinkConfig"
+    label_vocabulary: list[str]
+    tokenizer_tokens: list[str]
+    linker_config: LinkerConfig
+    backend_name: str
+    backend_state: dict[str, np.ndarray]
+    graph_view: KGSnapshot
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_thread_local", None)
+        return state
+
+    def preparer(self) -> "_Part1Preparer":
+        """The calling thread's preparer (built on first use).
+
+        Per-*thread* rather than per-spec because the Part-1 machinery
+        (retrieval score buffer, extractor caches) is not safe to share
+        between concurrently running tasks; in a process-pool worker there
+        is one task thread, so this is one preparer per process.
+        """
+        local = self.__dict__.get("_thread_local")
+        if local is None:
+            local = self.__dict__["_thread_local"] = threading.local()
+        preparer = getattr(local, "value", None)
+        if preparer is None:
+            preparer = local.value = _Part1Preparer.from_spec(self)
+        return preparer
+
+
+class _Part1Preparer:
+    """Stateless-by-contract Part-1 stage: tables in, prepared examples out."""
+
+    def __init__(self, extractor: KGCandidateExtractor, trainer: KGLinkTrainer):
+        self.extractor = extractor
+        self.trainer = trainer
+
+    @classmethod
+    def from_spec(cls, spec: _PreparerSpec) -> "_Part1Preparer":
+        from repro.serve.bundle import tokenizer_from_tokens
+
+        tokenizer = tokenizer_from_tokens(spec.tokenizer_tokens)
+        backend = restore_backend(spec.backend_name, spec.backend_state)
+        # Workers never nest worker pools: each worker searches its full
+        # index copy serially, whatever the parent's shard plan says.
+        linker = EntityLinker(
+            config=replace(spec.linker_config, num_shards=1), index=backend
+        )
+        extractor = KGCandidateExtractor(
+            spec.graph_view, spec.config.part1_config(), linker=linker
+        )
+        serializer = TableSerializer(tokenizer, spec.config.serializer_config())
+        # Part-1 preparation needs the trainer's serialisation logic but not
+        # the model, which stays in the parent process.
+        trainer = KGLinkTrainer(
+            None, serializer, spec.label_vocabulary, spec.config.training_config()
+        )
+        return cls(extractor, trainer)
+
+    def prepare(self, tables: list[Table]) -> list[PreparedExample]:
+        return [
+            self.trainer.prepare_example(
+                self.extractor.process_table(table), with_ground_truth=False
+            )
+            for table in tables
+        ]
+
+
+def _prepare_chunk_task(spec: _PreparerSpec, tables: list[Table]
+                        ) -> list[PreparedExample]:
+    """Executor task: Part-1 + serialisation for one chunk of tables."""
+    return spec.preparer().prepare(tables)
+
+
 class AnnotationService:
     """Serve column-type annotations from a loaded :class:`ServiceBundle`.
 
@@ -106,15 +210,29 @@ class AnnotationService:
         :meth:`annotate_stream`).
     cache_size:
         Bound of the processed-table LRU cache (``<= 0`` disables caching).
+    processes:
+        Size of the Part-1 process pool.  ``0`` (default) prepares serially
+        in-process; ``N > 0`` creates a
+        :class:`~repro.runtime.ProcessExecutor` with ``N`` workers, each
+        holding its own copy of the Part-1 machinery.
+    executor:
+        Inject a ready :class:`~repro.runtime.SearchExecutor` for the
+        prepare stage instead of ``processes`` (the service configures it
+        with its prepare spec and owns it from then on).
     """
 
     def __init__(self, bundle: ServiceBundle, max_batch: int = 16,
-                 cache_size: int = 1024):
+                 cache_size: int = 1024, processes: int = 0,
+                 executor: SearchExecutor | None = None):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
+        if processes < 0:
+            raise ValueError("processes must be non-negative")
         self.bundle = bundle
         self.max_batch = max_batch
         config = bundle.config
+        # The bundle's shard plan lives in linker_config: num_shards > 1 makes
+        # EntityLinker wrap the restored backend in a ShardedBackend.
         self.linker = EntityLinker(config=bundle.linker_config, index=bundle.backend)
         self.extractor = KGCandidateExtractor(
             bundle.graph_view, config.part1_config(), linker=self.linker
@@ -124,13 +242,21 @@ class AnnotationService:
             bundle.model, self.serializer, bundle.label_vocabulary,
             config.training_config(),
         )
+        self._local_preparer = _Part1Preparer(self.extractor, self.trainer)
         bundle.model.eval()
         self._cache: LRUCache[str, PreparedExample] = LRUCache(maxsize=cache_size)
+        if executor is None and processes > 0:
+            executor = ProcessExecutor(max_workers=processes)
+        self._prepare_executor = executor
+        if executor is not None:
+            executor.configure(self._preparer_spec())
         # Part-1 state (the retrieval backend's shared score buffer, the
-        # extractor's caches, the LRU) is not thread-safe; this lock lets a
-        # consumer call annotate()/annotate_batch() while an annotate_stream
-        # generator's background worker is mid-_prepare.
+        # extractor's caches) is not thread-safe; Part-2 shares model state.
+        # The two locks serialize the respective stages so annotate()/
+        # annotate_batch() are safe from any number of caller threads.
         self._prepare_lock = threading.Lock()
+        self._predict_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._requests = 0
         self._tables = 0
         self._part1_seconds = 0.0
@@ -144,53 +270,157 @@ class AnnotationService:
     # ------------------------------------------------------------------ #
     @classmethod
     def load(cls, directory: str | Path, max_batch: int = 16,
-             cache_size: int = 1024) -> "AnnotationService":
+             cache_size: int = 1024, processes: int = 0,
+             executor: SearchExecutor | None = None) -> "AnnotationService":
         """Start a service from a saved bundle directory.
 
         No knowledge graph is constructed and no index is rebuilt: the
-        retrieval backend is restored from its compiled arrays and Part 1
-        queries the bundled graph snapshot.
+        retrieval backend is restored from its compiled arrays (sharded per
+        the bundle's shard plan) and Part 1 queries the bundled graph
+        snapshot.
         """
         return cls(ServiceBundle.load(directory), max_batch=max_batch,
-                   cache_size=cache_size)
+                   cache_size=cache_size, processes=processes, executor=executor)
 
     def save(self, directory: str | Path) -> Path:
         """Persist the underlying bundle (see :meth:`ServiceBundle.save`)."""
         return self.bundle.save(directory)
 
+    def close(self) -> None:
+        """Shut down owned worker pools (prepare executor, shard executor).
+
+        Only pools this service brought into existence are touched: a
+        sharded index that arrived pre-wrapped in the bundle (e.g. shared
+        with a still-training annotator) keeps its executor running.
+        """
+        if self._prepare_executor is not None:
+            self._prepare_executor.close()
+        self.linker.close()
+
+    def __enter__(self) -> "AnnotationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
+    def _preparer_spec(self) -> _PreparerSpec:
+        bundle = self.bundle
+        return _PreparerSpec(
+            config=bundle.config,
+            label_vocabulary=list(bundle.label_vocabulary),
+            tokenizer_tokens=list(bundle.tokenizer.vocabulary),
+            linker_config=bundle.linker_config,
+            backend_name=bundle.backend_name,
+            backend_state=bundle.backend.export_state(),
+            graph_view=KGSnapshot.from_graph(bundle.graph_view),
+        )
+
+    def _spawn_missing(self, missing: list[Table]):
+        """Start Part-1 for uncached tables; returns a join() closure.
+
+        With an executor the tables are split into one chunk per worker and
+        submitted; ``join()`` collects the results in order.  Without one
+        (``processes=0``) the work happens inline and ``join()`` is
+        immediate — same contract, zero indirection cost.
+        """
+        if not missing:
+            return lambda: []
+        executor = self._prepare_executor
+        if executor is None:
+            # Serial fallback: the same prepare stage the workers run, but
+            # against this process's own extractor/serializer.
+            prepared = self._local_preparer.prepare(missing)
+            return lambda: prepared
+        n_chunks = max(1, min(executor.workers, len(missing)))
+        futures = [
+            executor.submit(_prepare_chunk_task, missing[lo:hi])
+            for lo, hi in shard_boundaries(len(missing), n_chunks)
+            if hi > lo
+        ]
+        return lambda: [example for future in futures for example in future.result()]
+
+    def _prepare_pending(self, tables: list[Table]):
+        """Begin preparing ``tables``; returns a closure yielding the results.
+
+        The cache partition and the fan-out happen now (under the prepare
+        lock); the returned ``resolve()`` blocks until the missing tables are
+        ready, installs them in the cache and returns examples aligned with
+        ``tables``.  ``annotate_stream`` calls ``resolve()`` only after
+        launching PLM inference for the previous micro-batch, which is what
+        overlaps the two stages.
+        """
+        start = time.perf_counter()
+        slots: list[PreparedExample | None] = [None] * len(tables)
+        missing_tables: list[Table] = []
+        missing_keys: list[object] = []
+        positions_by_key: dict[object, list[int]] = {}
+        # Deduplicating repeated table ids within a request assumes an id
+        # identifies a table's contents — exactly the assumption the cache
+        # makes.  With caching disabled the service promises independent
+        # processing per table, so each position becomes its own key.
+        dedup = self._cache.maxsize > 0
+        with self._prepare_lock:
+            for position, table in enumerate(tables):
+                key: object = table.table_id if dedup else position
+                if key in positions_by_key:  # duplicate within request
+                    positions_by_key[key].append(position)
+                    continue
+                cached = self._cache.get(table.table_id)
+                if cached is None:
+                    positions_by_key[key] = [position]
+                    missing_tables.append(table)
+                    missing_keys.append(key)
+                else:
+                    slots[position] = cached
+            join = self._spawn_missing(missing_tables)
+        # Only time actually spent in Part 1 counts: the partition/spawn work
+        # above plus the blocking part of resolve() below.  Timing the whole
+        # spawn-to-resolve span would charge Part 1 for whatever the caller
+        # did in between — in annotate_stream, the previous batch's PLM run.
+        spawn_seconds = time.perf_counter() - start
+
+        def resolve() -> list[PreparedExample]:
+            resolve_start = time.perf_counter()
+            fresh = join()
+            if fresh:
+                with self._prepare_lock:
+                    for table, key, example in zip(missing_tables, missing_keys,
+                                                   fresh):
+                        self._cache.put(table.table_id, example)
+                        for position in positions_by_key[key]:
+                            slots[position] = example
+            with self._stats_lock:
+                self._part1_seconds += spawn_seconds + (
+                    time.perf_counter() - resolve_start
+                )
+            return slots
+
+        return resolve
+
     def _prepare(self, tables: list[Table]) -> list[PreparedExample]:
         """Part 1 + serialisation for ``tables``, through the bounded LRU cache.
 
         The cache holds the fully *prepared* example (model-ready arrays),
         so a warm table costs one dict lookup before inference.
         """
-        start = time.perf_counter()
-        prepared: list[PreparedExample] = []
-        with self._prepare_lock:
-            for table in tables:
-                cached = self._cache.get(table.table_id)
-                if cached is None:
-                    processed = self.extractor.process_table(table)
-                    cached = self.trainer.prepare_example(processed, with_ground_truth=False)
-                    self._cache.put(table.table_id, cached)
-                prepared.append(cached)
-        self._part1_seconds += time.perf_counter() - start
-        return prepared
+        return self._prepare_pending(tables)()
 
     def _predict(self, examples: list[PreparedExample]) -> list[list[str]]:
         """Part 2 for prepared examples (micro-batched, length-bucketed)."""
         if not examples:
             return []
         start = time.perf_counter()
-        predictions = self.trainer.predict(examples, batch_size=self.max_batch)
-        self._encode_seconds += time.perf_counter() - start
-        stats = self.trainer.last_bucket_stats or {}
-        self._batches += int(stats.get("n_batches", 0))
-        self._useful_tokens += int(stats.get("useful_tokens", 0))
-        self._padded_tokens += int(stats.get("padded_tokens", 0))
+        with self._predict_lock:
+            predictions = self.trainer.predict(examples, batch_size=self.max_batch)
+            stats = self.trainer.last_bucket_stats or {}
+        with self._stats_lock:
+            self._encode_seconds += time.perf_counter() - start
+            self._batches += int(stats.get("n_batches", 0))
+            self._useful_tokens += int(stats.get("useful_tokens", 0))
+            self._padded_tokens += int(stats.get("padded_tokens", 0))
         return predictions
 
     # ------------------------------------------------------------------ #
@@ -203,8 +433,9 @@ class AnnotationService:
     def annotate_batch(self, tables: Iterable[Table]) -> list[list[str]]:
         """Annotate many tables in one request; results align with input."""
         tables = list(tables)
-        self._requests += 1
-        self._tables += len(tables)
+        with self._stats_lock:
+            self._requests += 1
+            self._tables += len(tables)
         if not tables:
             return []
         return self._predict(self._prepare(tables))
@@ -213,33 +444,30 @@ class AnnotationService:
                         max_batch: int | None = None) -> Iterator[list[str]]:
         """Annotate a (possibly unbounded) stream of tables lazily, in order.
 
-        Tables are consumed in micro-batches of ``max_batch``.  A single
-        background worker runs Part-1 candidate extraction for the *next*
-        micro-batch while the main thread runs Part-2 PLM inference for the
-        current one, so the two stages overlap instead of alternating.
-        Results are yielded per table, in input order, regardless of the
-        micro-batch boundaries.
+        Tables are consumed in micro-batches of ``max_batch``.  Part-1
+        candidate extraction for the *next* micro-batch is handed to the
+        prepare executor before the PLM runs the current one, so with
+        ``processes > 0`` (or an injected ``thread`` executor) the two
+        stages overlap; with the default serial setup the stages simply
+        alternate.  Results are yielded per table, in input order,
+        regardless of the micro-batch boundaries.
         """
         size = max_batch or self.max_batch
         if size <= 0:
             raise ValueError("max_batch must be positive")
         iterator = iter(tables)
-        self._requests += 1
-        executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-serve-part1"
-        )
-        try:
-            chunk = list(islice(iterator, size))
-            future = executor.submit(self._prepare, chunk) if chunk else None
-            while future is not None:
-                prepared = future.result()
-                # Start Part 1 of the next chunk before predicting this one.
-                next_chunk = list(islice(iterator, size))
-                future = executor.submit(self._prepare, next_chunk) if next_chunk else None
+        with self._stats_lock:
+            self._requests += 1
+        chunk = list(islice(iterator, size))
+        pending = self._prepare_pending(chunk) if chunk else None
+        while pending is not None:
+            prepared = pending()
+            # Start Part 1 of the next chunk before predicting this one.
+            next_chunk = list(islice(iterator, size))
+            pending = self._prepare_pending(next_chunk) if next_chunk else None
+            with self._stats_lock:
                 self._tables += len(prepared)
-                yield from self._predict(prepared)
-        finally:
-            executor.shutdown(wait=True)
+            yield from self._predict(prepared)
 
     # ------------------------------------------------------------------ #
     # telemetry
@@ -247,28 +475,28 @@ class AnnotationService:
     def stats(self) -> ServiceStats:
         """Cumulative telemetry since start (or the last :meth:`reset_stats`)."""
         info = self._cache.cache_info()
-        return ServiceStats(
-            requests=self._requests,
-            tables=self._tables,
-            part1_seconds=self._part1_seconds,
-            encode_seconds=self._encode_seconds,
-            batches=self._batches,
-            useful_tokens=self._useful_tokens,
-            padded_tokens=self._padded_tokens,
-            cache_hits=info.hits,
-            cache_misses=info.misses,
-            cache_size=info.currsize,
-        )
+        with self._stats_lock:
+            return ServiceStats(
+                requests=self._requests,
+                tables=self._tables,
+                part1_seconds=self._part1_seconds,
+                encode_seconds=self._encode_seconds,
+                batches=self._batches,
+                useful_tokens=self._useful_tokens,
+                padded_tokens=self._padded_tokens,
+                cache_hits=info.hits,
+                cache_misses=info.misses,
+                cache_size=info.currsize,
+            )
 
     def reset_stats(self) -> None:
         """Zero all telemetry counters (the cache contents stay warm)."""
-        self._requests = 0
-        self._tables = 0
-        self._part1_seconds = 0.0
-        self._encode_seconds = 0.0
-        self._batches = 0
-        self._useful_tokens = 0
-        self._padded_tokens = 0
-        self._cache.hits = 0
-        self._cache.misses = 0
-        self._cache.evictions = 0
+        with self._stats_lock:
+            self._requests = 0
+            self._tables = 0
+            self._part1_seconds = 0.0
+            self._encode_seconds = 0.0
+            self._batches = 0
+            self._useful_tokens = 0
+            self._padded_tokens = 0
+        self._cache.reset_counters()

@@ -1,0 +1,100 @@
+"""Tests of the shared bounded LRU cache, including its thread-safety.
+
+The serving layer calls ``get``/``put`` from whatever threads hit
+``annotate``; the counters feed telemetry dashboards, so lost increments are
+user-visible bugs, not cosmetics.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.cache import LRUCache
+
+
+class TestBasics:
+    def test_get_put_and_counters(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=2)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+
+    def test_eviction_order_is_lru(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a": "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.cache_info().evictions == 1
+
+    def test_zero_maxsize_disables(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=0)
+        cache.put("a", 1)
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_reset_counters_keeps_entries(self):
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        cache.reset_counters()
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.evictions) == (0, 0, 0)
+        assert cache.get("a") == 1  # entry survived the counter reset
+
+
+class TestThreadSafety:
+    def test_counters_lose_no_increments_under_contention(self):
+        # Regression test: unlocked `self.hits += 1` drops increments under
+        # threads.  Every get() is exactly one hit or one miss, so after N
+        # operations the two counters must sum to N — any lost update shows.
+        cache: LRUCache[int, int] = LRUCache(maxsize=64)
+        n_threads, ops = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for i in range(ops):
+                key = (seed * 31 + i) % 128  # half the keys overflow maxsize
+                value = cache.get(key)
+                if value is None:
+                    cache.put(key, key)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        info = cache.cache_info()
+        assert info.hits + info.misses == n_threads * ops
+        assert info.currsize <= 64
+        assert len(cache) <= 64
+
+    def test_recency_list_stays_intact_under_contention(self):
+        cache: LRUCache[int, int] = LRUCache(maxsize=8)
+        stop = threading.Event()
+        failures: list[Exception] = []
+
+        def churn(offset: int) -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    cache.put((offset + i) % 32, i)
+                    cache.get((offset + i + 1) % 32)
+                    i += 1
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                failures.append(error)
+
+        threads = [threading.Thread(target=churn, args=(t * 7,)) for t in range(6)]
+        for thread in threads:
+            thread.start()
+        for _ in range(200):
+            assert len(cache) <= 8
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures

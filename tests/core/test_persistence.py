@@ -62,7 +62,7 @@ class TestLoadAnnotator:
     def test_unsupported_format_rejected(self, fitted, graph, tmp_path):
         directory = save_annotator(fitted, tmp_path / "model")
         manifest = directory / "manifest.json"
-        manifest.write_text(manifest.read_text().replace('"format_version": 2',
+        manifest.write_text(manifest.read_text().replace('"format_version": 3',
                                                          '"format_version": 99'))
         with pytest.raises(ValueError):
             load_annotator(directory, graph)

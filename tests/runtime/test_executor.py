@@ -1,0 +1,140 @@
+"""Tests of the execution runtime: the SearchExecutor seam and its registry.
+
+Every executor must satisfy one observable contract — ``fn(payload, task)``
+applied to each task, results in task order, payload installed once by
+``configure`` — because the sharded retrieval and serving layers treat the
+executor purely as configuration.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import (
+    ProcessExecutor,
+    SearchExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_executors,
+    create_executor,
+    default_worker_count,
+    register_executor,
+)
+
+
+def _scale(payload, task):
+    """Module-level so the process executor can pickle it."""
+    return payload * task
+
+
+def _raise(payload, task):
+    raise RuntimeError(f"task {task} failed")
+
+
+EXECUTOR_NAMES = ["serial", "thread", "process"]
+
+
+@pytest.fixture(params=EXECUTOR_NAMES)
+def executor(request):
+    instance = create_executor(request.param, max_workers=2)
+    yield instance
+    instance.close()
+
+
+class TestContract:
+    def test_registry_lists_all_three(self):
+        assert set(EXECUTOR_NAMES) <= set(available_executors())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            create_executor("no-such-executor")
+
+    def test_satisfies_protocol(self, executor):
+        assert isinstance(executor, SearchExecutor)
+
+    def test_map_applies_payload_in_task_order(self, executor):
+        executor.configure(10)
+        assert executor.map(_scale, [1, 2, 3, 4, 5]) == [10, 20, 30, 40, 50]
+
+    def test_map_empty(self, executor):
+        executor.configure(1)
+        assert executor.map(_scale, []) == []
+
+    def test_submit_returns_future(self, executor):
+        executor.configure(7)
+        future = executor.submit(_scale, 6)
+        assert future.result() == 42
+
+    def test_task_errors_propagate(self, executor):
+        executor.configure(None)
+        with pytest.raises(RuntimeError):
+            executor.map(_raise, [1])
+        with pytest.raises(RuntimeError):
+            executor.submit(_raise, 2).result()
+
+    def test_reconfigure_replaces_payload(self, executor):
+        executor.configure(2)
+        assert executor.map(_scale, [3]) == [6]
+        executor.configure(5)
+        assert executor.map(_scale, [3]) == [15]
+
+    def test_context_manager_closes(self):
+        with create_executor("thread", max_workers=2) as ex:
+            ex.configure(1)
+            assert ex.map(_scale, [4]) == [4]
+
+
+class TestWorkers:
+    def test_worker_counts(self):
+        assert SerialExecutor().workers == 1
+        assert ThreadExecutor(max_workers=3).workers == 3
+        assert ProcessExecutor(max_workers=2).workers == 2
+
+    def test_invalid_worker_count_rejected(self):
+        # 0 must be rejected, not silently replaced with the host default.
+        for bad in (0, -1):
+            with pytest.raises(ValueError):
+                ThreadExecutor(max_workers=bad)
+            with pytest.raises(ValueError):
+                ProcessExecutor(max_workers=bad)
+
+    def test_default_worker_count_respects_affinity(self):
+        count = default_worker_count()
+        assert 1 <= count <= max(1, len(os.sched_getaffinity(0)))
+        assert default_worker_count(cap=1) == 1
+
+
+class TestProcessIsolation:
+    def test_payload_crosses_once_per_worker(self):
+        # The payload travels through the pool initializer, not per task: a
+        # worker-side mutation of the payload is invisible to later tasks'
+        # *arguments* but the parent copy stays untouched either way.
+        payload = {"value": 3}
+        with ProcessExecutor(max_workers=1) as ex:
+            ex.configure(payload)
+            assert ex.map(_scale_dict, [2, 4]) == [6, 12]
+        assert payload == {"value": 3}
+
+
+def _scale_dict(payload, task):
+    return payload["value"] * task
+
+
+class TestRegistry:
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError):
+            register_executor(object)
+
+    def test_register_custom_executor(self):
+        @register_executor
+        class Doubling(SerialExecutor):
+            executor_name = "test-doubling"
+
+            def map(self, fn, tasks):
+                return [fn(self._payload, task) * 2 for task in tasks]
+
+        ex = create_executor("test-doubling")
+        ex.configure(1)
+        assert ex.map(_scale, [3]) == [6]

@@ -83,7 +83,7 @@ class TestServiceBundle:
 
     def test_save_writes_versioned_layout(self, bundle_dir):
         manifest = json.loads((bundle_dir / "manifest.json").read_text())
-        assert manifest["format_version"] == 2
+        assert manifest["format_version"] == 3
         assert manifest["backend"]["name"] == "bm25"
         assert (bundle_dir / "model.npz").exists()
         assert (bundle_dir / "index.npz").exists()
@@ -279,6 +279,212 @@ class TestCharNGramServing:
         service = AnnotationService.load(directory)
         _assert_no_knowledge_graph(service)
         assert service.annotate_batch(tables) == expected
+
+
+class TestShardedServing:
+    """The shard plan: persisted in the bundle, applied at load, bitwise-safe."""
+
+    def test_manifest_records_shard_plan(self, bundle_dir):
+        manifest = json.loads((bundle_dir / "manifest.json").read_text())
+        assert manifest["shard_plan"] == {"num_shards": 1, "executor": "serial"}
+
+    @pytest.mark.parametrize("executor_name", ["serial", "thread"])
+    def test_sharded_service_predictions_bitwise_equal(self, bundle_dir,
+                                                       serve_tables,
+                                                       executor_name):
+        import dataclasses as dc
+
+        from repro.kg.backends import ShardedBackend
+
+        reference = AnnotationService.load(bundle_dir)
+        expected = reference.annotate_batch(serve_tables)
+
+        bundle = ServiceBundle.load(bundle_dir)
+        bundle.linker_config = dc.replace(
+            bundle.linker_config, num_shards=3, executor=executor_name
+        )
+        with AnnotationService(bundle) as sharded:
+            assert isinstance(sharded.linker.index, ShardedBackend)
+            assert sharded.linker.index.num_shards == 3
+            assert sharded.annotate_batch(serve_tables) == expected
+
+    def test_shard_plan_round_trips_through_disk(self, bundle_dir, serve_tables,
+                                                 tmp_path):
+        import dataclasses as dc
+
+        from repro.kg.backends import ShardedBackend
+
+        expected = AnnotationService.load(bundle_dir).annotate_batch(serve_tables)
+        bundle = ServiceBundle.load(bundle_dir)
+        bundle.linker_config = dc.replace(bundle.linker_config, num_shards=2)
+        directory = bundle.save(tmp_path / "sharded")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["shard_plan"]["num_shards"] == 2
+        with AnnotationService.load(directory) as service:
+            assert isinstance(service.linker.index, ShardedBackend)
+            assert service.annotate_batch(serve_tables) == expected
+
+    def test_bundle_saved_from_sharded_service_is_canonical(self, bundle_dir,
+                                                            serve_tables,
+                                                            tmp_path):
+        # Saving a service whose linker runs sharded must write the inner
+        # backend's name and the unsharded arrays, not K shard copies.
+        import dataclasses as dc
+
+        bundle = ServiceBundle.load(bundle_dir)
+        bundle.linker_config = dc.replace(bundle.linker_config, num_shards=2)
+        with AnnotationService(bundle) as service:
+            expected = service.annotate_batch(serve_tables)
+            bundle.backend = service.linker.index  # the ShardedBackend
+            directory = bundle.save(tmp_path / "resaved")
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["backend"]["name"] == "bm25"
+        with AnnotationService.load(directory) as restored:
+            assert restored.annotate_batch(serve_tables) == expected
+
+    def test_service_close_spares_shared_sharded_index(self, graph,
+                                                       semtab_splits):
+        # An annotator trained with a sharded linker hands its ShardedBackend
+        # to into_service() by reference; closing the service must not tear
+        # down the executor the (still-training) annotator depends on.
+        from repro.kg.backends import ShardedBackend
+        from repro.kg.linker import EntityLinker, LinkerConfig
+
+        linker = EntityLinker(graph, LinkerConfig(max_candidates=8, num_shards=2))
+        assert isinstance(linker.index, ShardedBackend)
+        annotator = KGLinkAnnotator(graph, TINY_CONFIG, linker=linker)
+        train = TableCorpus("train", semtab_splits.train.tables[:6],
+                            semtab_splits.train.label_vocabulary)
+        annotator.fit(train)
+        table = semtab_splits.test.tables[0]
+        expected = annotator.annotate(table)
+        with annotator.into_service() as service:
+            assert service.linker.index is linker.index
+            assert service.annotate(table) == expected
+        # The annotator keeps working after the service shut down: cold
+        # caches force real searches through the (still-open) sharded index.
+        annotator._processed_cache.clear()
+        linker.cache_clear()
+        assert annotator.annotate(table) == expected
+        linker.close()
+
+    def test_format_2_bundles_load_unchanged(self, bundle_dir, serve_tables,
+                                             tmp_path):
+        expected = AnnotationService.load(bundle_dir).annotate_batch(serve_tables)
+        clone = tmp_path / "v2"
+        clone.mkdir()
+        for item in bundle_dir.iterdir():
+            (clone / item.name).write_bytes(item.read_bytes())
+        manifest = json.loads((clone / "manifest.json").read_text())
+        # Reconstruct what a PR-4 writer produced: format 2, no shard plan,
+        # no post-v2 config/linker knobs.
+        manifest["format_version"] = 2
+        manifest.pop("shard_plan")
+        manifest["linker_config"].pop("num_shards")
+        manifest["linker_config"].pop("executor")
+        manifest["config"].pop("length_bucketed_training")
+        (clone / "manifest.json").write_text(json.dumps(manifest))
+        bundle = ServiceBundle.load(clone)
+        assert bundle.linker_config.num_shards == 1
+        assert bundle.linker_config.executor == "serial"
+        service = AnnotationService(bundle)
+        assert service.annotate_batch(serve_tables) == expected
+
+
+class TestProcessPoolPrepare:
+    """The Part-1 prepare stage distributed across worker processes."""
+
+    def test_process_pool_predictions_bitwise_equal(self, bundle_dir,
+                                                    serve_tables):
+        expected = AnnotationService.load(bundle_dir).annotate_batch(serve_tables)
+        with AnnotationService.load(bundle_dir, processes=2) as service:
+            assert service.annotate_batch(serve_tables) == expected
+            # Warm tables come from the parent-side cache, cold ones from the
+            # pool; both paths must agree.
+            assert service.annotate_batch(serve_tables) == expected
+            stats = service.stats()
+            assert stats.cache_misses == len(serve_tables)
+            assert stats.cache_hits == len(serve_tables)
+
+    def test_process_pool_stream_matches_batch(self, bundle_dir, serve_tables):
+        with AnnotationService.load(bundle_dir, processes=2,
+                                    cache_size=0) as service:
+            expected = AnnotationService.load(bundle_dir).annotate_batch(
+                serve_tables
+            )
+            streamed = list(service.annotate_stream(serve_tables, max_batch=2))
+            assert streamed == expected
+
+    def test_injected_thread_executor(self, bundle_dir, serve_tables):
+        from repro.runtime import ThreadExecutor
+
+        expected = AnnotationService.load(bundle_dir).annotate_batch(serve_tables)
+        with AnnotationService.load(
+            bundle_dir, executor=ThreadExecutor(max_workers=2), cache_size=0
+        ) as service:
+            assert service.annotate_batch(serve_tables) == expected
+            assert list(service.annotate_stream(serve_tables)) == expected
+
+    def test_invalid_processes_rejected(self, bundle_dir):
+        with pytest.raises(ValueError):
+            AnnotationService.load(bundle_dir, processes=-1)
+
+    def test_duplicate_tables_in_one_request(self, bundle_dir, serve_tables):
+        with AnnotationService.load(bundle_dir, processes=1) as service:
+            table = serve_tables[0]
+            first, second = service.annotate_batch([table, table])
+            assert first == second
+
+    def test_colliding_table_ids_with_cache_disabled(self, bundle_dir,
+                                                     serve_tables):
+        # cache_size=0 promises every table is processed independently, so
+        # two *different* tables that happen to share an id must each get
+        # their own predictions — not the first table's.
+        import dataclasses as dc
+
+        a, b = serve_tables[0], serve_tables[1]
+        b_clone = dc.replace(b, table_id=a.table_id)
+        service = AnnotationService.load(bundle_dir, cache_size=0)
+        expected_a = service.annotate(a)
+        expected_b = service.annotate(b)
+        assert service.annotate_batch([a, b_clone]) == [expected_a, expected_b]
+
+
+class TestConcurrentAnnotate:
+    def test_stats_counters_survive_threaded_annotate(self, bundle_dir,
+                                                      serve_tables):
+        # Regression test for the counter races: hammer annotate() from many
+        # threads; every request/table/hit/miss must be accounted for.
+        import threading
+
+        service = AnnotationService.load(bundle_dir)
+        expected = [service.annotate(table) for table in serve_tables]
+        service.reset_stats()
+        service._cache.clear()
+
+        n_threads, rounds = 8, 5
+        failures: list = []
+
+        def hammer():
+            try:
+                for _ in range(rounds):
+                    for table, want in zip(serve_tables, expected):
+                        if service.annotate(table) != want:
+                            raise AssertionError("prediction changed under threads")
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                failures.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        stats = service.stats()
+        total = n_threads * rounds * len(serve_tables)
+        assert stats.requests == total
+        assert stats.tables == total
+        assert stats.cache_hits + stats.cache_misses == total
 
 
 class TestAnnotatorCache:
