@@ -11,6 +11,10 @@ scale at which the paper resorts to Elasticsearch), then times
   per-query recall@10 parity and search latency,
 * sharded search: the same query stream through a ``ShardedBackend`` whose
   shards are served by a process pool, vs the unsharded index,
+* resilience overhead: the sharded path under the default ``RuntimePolicy``
+  (deadlines, retries, circuit breakers — all idle) vs the bare
+  ``policy=None`` fan-out on the same serial executor, gating the wrappers'
+  fault-free cost,
 * sequential ``EntityLinker.link`` vs ``EntityLinker.link_batch`` throughput
   on a mention stream with realistic duplication,
 * serving throughput: a tiny trained system exported through
@@ -134,6 +138,50 @@ def measure_sharded(index: BM25Index, queries: list[str], top_k: int,
         "shard_workers": workers,
         "sharded_search_ms_per_query": round(sharded_seconds / len(queries) * 1e3, 4),
         "sharded_search_speedup": round(flat_seconds / sharded_seconds, 2),
+    }
+
+
+def measure_resilience_overhead(index: BM25Index, queries: list[str],
+                                top_k: int, num_shards: int = 2,
+                                repeats: int = 5) -> dict:
+    """Fault-free cost of the resilience wrappers on the sharded search path.
+
+    Two ``ShardedBackend``s over the same index and the same serial executor:
+    one bare (``policy=None``) and one under the default ``RuntimePolicy``
+    (per-shard deadlines, retry accounting, circuit breakers).  Same process,
+    same arrays, zero faults — the ratio isolates pure wrapper overhead, and
+    the CI gate (``serving.resilience_overhead``) holds it near 1.0.
+    """
+    from repro.runtime import SerialExecutor
+
+    bare = ShardedBackend(index, num_shards=num_shards,
+                          executor=SerialExecutor(), policy=None)
+    resilient = ShardedBackend(index, num_shards=num_shards,
+                               executor=SerialExecutor())
+    try:
+        bare_hits = bare.search_batch(queries, top_k=top_k)  # warm both paths
+        assert resilient.search_batch(queries, top_k=top_k) == bare_hits, (
+            "resilience wrappers changed search results"
+        )
+        bare_seconds = float("inf")
+        resilient_seconds = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            bare.search_batch(queries, top_k=top_k)
+            bare_seconds = min(bare_seconds, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            resilient.search_batch(queries, top_k=top_k)
+            resilient_seconds = min(resilient_seconds, time.perf_counter() - start)
+    finally:
+        bare.close()
+        resilient.close()
+    return {
+        "bare_serial_search_ms_per_query": round(
+            bare_seconds / len(queries) * 1e3, 4),
+        "resilient_serial_search_ms_per_query": round(
+            resilient_seconds / len(queries) * 1e3, 4),
+        "resilience_overhead": round(resilient_seconds / bare_seconds, 4),
     }
 
 
@@ -264,6 +312,7 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
         index, queries, top_k,
         num_shards=max(2, shard_workers), workers=shard_workers,
     )
+    resilience_metrics = measure_resilience_overhead(index, queries, top_k)
 
     # Linker throughput on a mention stream with heavy duplication (the same
     # entities recur across table cells).  Fresh linkers so caches are cold.
@@ -324,7 +373,7 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
             "seed_engine_mentions_per_second": round(seed_rate, 1),
             "engine_speedup": round(batch_rate / seed_rate, 2),
         },
-        "serving": {**sharded_metrics, **run_serving(seed)},
+        "serving": {**sharded_metrics, **resilience_metrics, **run_serving(seed)},
     }
 
 

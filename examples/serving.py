@@ -14,7 +14,11 @@ The serving-first flow introduced by ``repro.serve``:
 5. watch the per-request telemetry (``service.stats()``);
 6. scale out: re-shard the bundled index across a ``ShardedBackend``
    (results stay bitwise-identical) and move the Part-1 prepare stage onto
-   a process pool (``processes=N``) — both are configuration, not code.
+   a process pool (``processes=N``) — both are configuration, not code;
+7. operate under failure: script a deterministic worker crash with
+   ``FaultPlan`` / ``FaultyExecutor`` and watch the ``RuntimePolicy``
+   (deadlines, retries, circuit breakers) absorb it — ``service.health()``
+   reports ``degraded`` while the answers stay bitwise-identical.
 
 Run with::
 
@@ -31,7 +35,13 @@ from pathlib import Path
 from repro.core import KGLinkAnnotator, KGLinkConfig
 from repro.data import SemTabConfig, SemTabGenerator, stratified_split
 from repro.kg import KGWorldConfig, build_default_kg
-from repro.runtime import default_worker_count
+from repro.runtime import (
+    FaultPlan,
+    FaultyExecutor,
+    RuntimePolicy,
+    create_executor,
+    default_worker_count,
+)
 from repro.serve import AnnotationService, ServiceBundle
 
 
@@ -110,6 +120,30 @@ def main() -> None:
         assert streamed == predictions
         print(f"   {len(tables) / elapsed:.0f} tables/s streamed (Part 1 of "
               "batch i+1 overlaps PLM of batch i across processes)")
+
+    print("8) operating under failure: crash a prepare worker on the first "
+          "call ...")
+    policy = RuntimePolicy(timeout_s=30.0, max_retries=2, breaker_threshold=3)
+    # The crash is scripted, deterministic and injected at the dispatch
+    # boundary — no real process is killed, yet the service sees exactly
+    # what a dead pool worker looks like (BrokenProcessPool).
+    plan = FaultPlan(seed=0).crash_worker(times=1)
+    chaotic = FaultyExecutor(create_executor("process", max_workers=workers),
+                             plan)
+    with AnnotationService.load(bundle_dir, max_batch=16, cache_size=0,
+                                executor=chaotic, policy=policy) as survivor:
+        shaken = survivor.annotate_batch(tables)  # crash -> respawn -> retry
+        assert shaken == predictions, "degraded serving must stay identical"
+        health = survivor.health()
+        stats = survivor.stats()
+        print(f"   health={health.status} ({'; '.join(health.reasons)})")
+        print(f"   worker_crashes={stats.worker_crashes}  "
+              f"retries={stats.retries}  fallbacks={stats.fallbacks}  "
+              "— answers identical to step 4")
+        survivor.reset_stats()
+        assert survivor.annotate_batch(tables) == predictions
+        print(f"   after reset_stats(): health={survivor.health().status} "
+              "(the crash was transient; the respawned pool is serving)")
 
 
 if __name__ == "__main__":

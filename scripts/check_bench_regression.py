@@ -90,6 +90,14 @@ RETRIEVAL_METRICS = [
     Metric("serving.sharded_search_speedup", higher_is_better=True, is_ratio=True),
     Metric("serving.process_pool_annotate_speedup",
            higher_is_better=True, is_ratio=True),
+    # Fault-free cost of the resilience wrappers (deadline/retry/breaker
+    # machinery) on the sharded search path: resilient time / bare time on
+    # the same serial executor, so 1.0 means the wrappers are free.  Gated
+    # with a tight 5% allowance (the committed baseline sits at ~1.0), so
+    # the wrapped path must stay within ~5% of bare whatever the global
+    # timing tolerance says.
+    Metric("serving.resilience_overhead", higher_is_better=False, is_ratio=True,
+           max_regression=0.05),
 ]
 
 

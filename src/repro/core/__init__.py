@@ -10,6 +10,15 @@ is the end-to-end public API.
 """
 
 from repro.core.cache import CacheInfo, LRUCache
+from repro.core.errors import (
+    BreakerOpen,
+    BundleCorrupted,
+    DeadlineExceeded,
+    ServiceClosed,
+    ServingError,
+    ShardUnavailable,
+    WorkerCrashed,
+)
 from repro.core.pipeline import (
     ColumnKGInfo,
     KGCandidateExtractor,
@@ -27,6 +36,13 @@ __all__ = [
     "load_annotator",
     "CacheInfo",
     "LRUCache",
+    "ServingError",
+    "DeadlineExceeded",
+    "WorkerCrashed",
+    "BreakerOpen",
+    "ShardUnavailable",
+    "BundleCorrupted",
+    "ServiceClosed",
     "Part1Config",
     "KGCandidateExtractor",
     "ProcessedTable",

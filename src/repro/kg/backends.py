@@ -54,6 +54,7 @@ from typing import ClassVar, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro.core.errors import ShardUnavailable
 from repro.text.tokenizer import basic_tokenize
 
 __all__ = [
@@ -845,6 +846,11 @@ def _search_shard_task(shard_set: _ShardSet, task):
     return shard_set.shard(shard_index).search_batch(queries, top_k=top_k)
 
 
+def _shard_of(task) -> int:
+    """Breaker key of a shard-search task (tasks are ``(shard, queries, k)``)."""
+    return task[0]
+
+
 class ShardedBackend:
     """Fan ``search_batch`` out across document-range shards of one index.
 
@@ -869,12 +875,23 @@ class ShardedBackend:
     shard copies.  Like the concrete backends, a ``ShardedBackend`` instance
     may serve one ``search_batch`` at a time; the executor it owns must not
     be shared with other payloads.
+
+    **Fault tolerance.**  With a :class:`~repro.runtime.RuntimePolicy` (the
+    default), shard searches run through a
+    :class:`~repro.runtime.ResilientExecutor`: each shard gets per-task
+    deadlines, bounded retries and its own circuit breaker, and a shard whose
+    dispatch still fails (or whose breaker is open) is searched *serially in
+    this process* against the same shard state — identical code path, so
+    results stay bitwise-identical and only latency degrades.  Only when that
+    local fallback fails too does :meth:`search_batch` raise
+    :class:`~repro.core.errors.ShardUnavailable`.  Pass ``policy=None`` for
+    the bare fan-out (benchmarks measure the wrapper overhead against it).
     """
 
     backend_name: ClassVar[str] = "sharded"
 
     def __init__(self, backend: "RetrievalBackend", num_shards: int = 2,
-                 executor=None):
+                 executor=None, policy="default"):
         if isinstance(backend, ShardedBackend):
             raise TypeError("refusing to shard an already-sharded backend")
         if num_shards < 1:
@@ -903,6 +920,21 @@ class ShardedBackend:
             executor = SerialExecutor()
         self.executor = executor
         self.executor.configure(self._shard_set)
+        if policy == "default":
+            from repro.runtime.resilience import RuntimePolicy
+
+            policy = RuntimePolicy()
+        self.policy = policy
+        if policy is None:
+            self._dispatch = self.executor
+            self._resilience = None
+        else:
+            from repro.runtime.resilience import ResilienceStats, ResilientExecutor
+
+            self._resilience = ResilienceStats()
+            self._dispatch = ResilientExecutor(
+                self.executor, policy, target_of=_shard_of, stats=self._resilience
+            )
 
     # ------------------------------------------------------------------ #
     def add_document(self, doc_id: str, text: str) -> None:
@@ -953,7 +985,10 @@ class ShardedBackend:
         tasks = [
             (shard_index, queries, top_k) for shard_index in range(self.num_shards)
         ]
-        per_shard = self.executor.map(_search_shard_task, tasks)
+        if self._resilience is None:
+            per_shard = self.executor.map(_search_shard_task, tasks)
+        else:
+            per_shard = self._search_resilient(tasks, queries, top_k)
         merged: list[list[SearchHit]] = []
         for query_index in range(len(queries)):
             union = [
@@ -964,6 +999,56 @@ class ShardedBackend:
             union.sort(key=lambda hit: (-hit.score, hit.doc_id))
             merged.append(union[:top_k])
         return merged
+
+    def _search_resilient(self, tasks, queries, top_k) -> list:
+        """Dispatch shards through the resilient executor, degrading per shard."""
+        futures = [self._dispatch.submit(_search_shard_task, task) for task in tasks]
+        per_shard = []
+        for task, future in zip(tasks, futures):
+            try:
+                per_shard.append(future.result())
+            except Exception as error:  # noqa: BLE001 - degrade, then classify
+                per_shard.append(
+                    self._search_shard_locally(task[0], queries, top_k, error)
+                )
+        return per_shard
+
+    def _search_shard_locally(self, shard_index: int, queries, top_k: int,
+                              error: BaseException) -> list:
+        """Serial in-process fallback for one shard (bitwise-identical results).
+
+        Restores the shard from the same exported state the workers use and
+        runs the same ``search_batch``, so degraded mode changes latency,
+        never rankings.
+        """
+        self._resilience.increment("fallbacks")
+        try:
+            shard = self._shard_set.shard(shard_index)
+            return shard.search_batch(queries, top_k=top_k)
+        except Exception as fallback_error:  # noqa: BLE001 - now truly dark
+            raise ShardUnavailable(
+                f"shard {shard_index} failed via the executor "
+                f"({type(error).__name__}: {error}) and the serial in-process "
+                f"fallback failed too"
+            ) from fallback_error
+
+    def resilience_stats(self) -> dict:
+        """Fault counters + per-shard breaker states (empty when bare)."""
+        if self._resilience is None:
+            return {"counters": {}, "breakers": {}, "breaker_trips": 0}
+        return {
+            "counters": self._resilience.snapshot(),
+            "breakers": {
+                str(target): state
+                for target, state in sorted(self._dispatch.breaker_states().items())
+            },
+            "breaker_trips": self._dispatch.breaker_trips(),
+        }
+
+    def reset_resilience_stats(self) -> None:
+        """Zero the fault counters (breaker states and trip totals persist)."""
+        if self._resilience is not None:
+            self._resilience.reset()
 
     def close(self) -> None:
         """Shut down the owned executor (worker pools, if any)."""

@@ -81,13 +81,15 @@ class EntityLinker:
     When ``config.num_shards > 1`` the index is wrapped in a
     :class:`~repro.kg.backends.ShardedBackend`; ``executor`` optionally
     injects a ready :class:`~repro.runtime.SearchExecutor` for the shard
-    fan-out (otherwise one is created from ``config.executor`` by name).
+    fan-out (otherwise one is created from ``config.executor`` by name), and
+    ``runtime_policy`` forwards a :class:`~repro.runtime.RuntimePolicy` to
+    that wrapper (``"default"`` → the stock policy; ``None`` → bare fan-out).
     """
 
     def __init__(self, graph: KnowledgeGraph | None = None,
                  config: LinkerConfig | None = None,
                  index: RetrievalBackend | None = None,
-                 executor=None):
+                 executor=None, runtime_policy="default"):
         self.graph = graph
         self.config = config or LinkerConfig()
         if index is None:
@@ -107,7 +109,8 @@ class EntityLinker:
 
                 executor = create_executor(self.config.executor)
             index = ShardedBackend(
-                index, num_shards=self.config.num_shards, executor=executor
+                index, num_shards=self.config.num_shards, executor=executor,
+                policy=runtime_policy,
             )
             self._owns_sharded_index = True
         self.index = index

@@ -10,6 +10,12 @@ select one by name::
 
 which is the same registry idiom the retrieval backends use
 (:func:`repro.kg.backends.create_backend`).
+
+:mod:`repro.runtime.resilience` layers deadlines, bounded retries and
+per-target circuit breakers over any executor (``ResilientExecutor`` +
+``RuntimePolicy``), and :mod:`repro.runtime.faults` provides the matching
+deterministic fault injector (``FaultPlan`` + ``FaultyExecutor``) so every
+failure mode is reproducible in tests.
 """
 
 from repro.runtime.executor import (
@@ -22,6 +28,13 @@ from repro.runtime.executor import (
     default_worker_count,
     register_executor,
 )
+from repro.runtime.faults import FaultPlan, FaultRule, FaultyExecutor
+from repro.runtime.resilience import (
+    CircuitBreaker,
+    ResilienceStats,
+    ResilientExecutor,
+    RuntimePolicy,
+)
 
 __all__ = [
     "SearchExecutor",
@@ -32,4 +45,11 @@ __all__ = [
     "create_executor",
     "available_executors",
     "default_worker_count",
+    "RuntimePolicy",
+    "CircuitBreaker",
+    "ResilienceStats",
+    "ResilientExecutor",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyExecutor",
 ]

@@ -18,7 +18,11 @@ is tight, strictly serial in tests and notebooks.
 * ``map(fn, tasks)`` applies ``fn(payload, task)`` to every task and returns
   results in task order;
 * ``submit(fn, task)`` is the async variant used to pipeline stages (Part-1
-  of micro-batch *i+1* against PLM inference of micro-batch *i*).
+  of micro-batch *i+1* against PLM inference of micro-batch *i*);
+* ``recover()`` discards dead workers so the next call gets a live pool — a
+  no-op for ``serial``, a pool respawn for ``thread``/``process``.  The
+  resilience layer (:mod:`repro.runtime.resilience`) calls it when it catches
+  a ``BrokenExecutor``.
 
 ``fn`` must be a **module-level function** and ``payload``/``tasks``/results
 must be picklable, because the ``process`` executor ships them to worker
@@ -34,8 +38,16 @@ the same way retrieval backends are selected via
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Any, Callable, ClassVar, Protocol, Sequence, runtime_checkable
+
+from repro.core.errors import WorkerCrashed
 
 __all__ = [
     "SearchExecutor",
@@ -72,6 +84,8 @@ class SearchExecutor(Protocol):
     def map(self, fn: Callable[[Any, Any], Any], tasks: Sequence[Any]) -> list: ...
 
     def submit(self, fn: Callable[[Any, Any], Any], task: Any) -> Future: ...
+
+    def recover(self) -> None: ...
 
     def close(self) -> None: ...
 
@@ -141,6 +155,9 @@ class SerialExecutor:
             future.set_exception(error)
         return future
 
+    def recover(self) -> None:
+        pass  # no workers to lose
+
     def close(self) -> None:
         self._payload = None
 
@@ -194,6 +211,11 @@ class ThreadExecutor:
     def submit(self, fn, task) -> Future:
         return self._ensure_pool().submit(fn, self._payload, task)
 
+    def recover(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None  # payload survives; next call respawns the pool
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
@@ -231,16 +253,29 @@ class ProcessExecutor:
     under ``spawn``); per-task traffic is only ``(fn, task)`` out and the
     result back.  Reconfiguring tears the pool down so workers never serve a
     stale payload.
+
+    Worker supervision: a dead worker poisons a ``ProcessPoolExecutor`` for
+    good (every call raises ``BrokenProcessPool``), so ``map`` respawns the
+    pool and re-runs the whole task batch up to ``max_respawns`` times before
+    surfacing :class:`~repro.core.errors.WorkerCrashed` — tasks here are pure
+    functions of ``(payload, task)``, so a re-run is safe.  ``submit`` leaves
+    that decision to the caller (the resilience layer retries per task);
+    :meth:`recover` is the shared respawn primitive.
     """
 
     executor_name: ClassVar[str] = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, max_respawns: int = 1):
         self._workers = default_worker_count() if max_workers is None else int(max_workers)
         if self._workers <= 0:
             raise ValueError("max_workers must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
+        self.max_respawns = max_respawns
         self._payload: Any = None
         self._pool: ProcessPoolExecutor | None = None
+        self._pending: set[Future] = set()
+        self._pending_lock = threading.Lock()
 
     @property
     def workers(self) -> int:
@@ -255,26 +290,62 @@ class ProcessExecutor:
             )
         return self._pool
 
-    def configure(self, payload: Any) -> None:
+    def _track(self, future: Future) -> Future:
+        with self._pending_lock:
+            self._pending.add(future)
+        future.add_done_callback(self._untrack)
+        return future
+
+    def _untrack(self, future: Future) -> None:
+        with self._pending_lock:
+            self._pending.discard(future)
+
+    def _teardown(self, *, wait: bool) -> None:
+        """Cancel what has not started, then shut the pool down.
+
+        Cancelling pending futures first means ``shutdown(wait=True)`` only
+        waits for tasks already on a worker, so interpreter exit cannot
+        deadlock behind a deep queue.
+        """
+        with self._pending_lock:
+            pending = list(self._pending)
+        for future in pending:
+            future.cancel()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown(wait=wait, cancel_futures=True)
             self._pool = None
+
+    def configure(self, payload: Any) -> None:
+        self._teardown(wait=True)
         self._payload = payload
 
     def map(self, fn, tasks) -> list:
         tasks = list(tasks)
         if not tasks:
             return []
-        pool = self._ensure_pool()
-        return list(pool.map(_run_process_task, [fn] * len(tasks), tasks))
+        respawns = 0
+        while True:
+            pool = self._ensure_pool()
+            try:
+                return list(pool.map(_run_process_task, [fn] * len(tasks), tasks))
+            except BrokenExecutor as error:
+                if respawns >= self.max_respawns:
+                    raise WorkerCrashed(
+                        f"worker pool died {respawns + 1} time(s) running a "
+                        f"batch of {len(tasks)} task(s); giving up"
+                    ) from error
+                respawns += 1
+                self.recover()
 
     def submit(self, fn, task) -> Future:
-        return self._ensure_pool().submit(_run_process_task, fn, task)
+        return self._track(self._ensure_pool().submit(_run_process_task, fn, task))
+
+    def recover(self) -> None:
+        """Replace a (presumed broken) pool; the payload is reinstalled lazily."""
+        self._teardown(wait=False)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._teardown(wait=True)
         self._payload = None
 
     def __enter__(self):

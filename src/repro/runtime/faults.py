@@ -1,0 +1,223 @@
+"""Deterministic fault injection for the execution runtime.
+
+Testing the resilience layer against *real* failures — killed worker
+processes, wall-clock hangs — is slow and flaky.  This module makes every
+failure mode a first-class, reproducible test input instead:
+
+* :class:`FaultPlan` — a seeded script of faults ("fail the task for shard 2
+  once with ``TimeoutError``", "kill a worker on call 5", "delay 50 ms"),
+  built from chainable rules;
+* :class:`FaultyExecutor` — wraps any registered
+  :class:`~repro.runtime.executor.SearchExecutor` and consults the plan at
+  the submission boundary, *in the parent process*.  A matching rule raises
+  the scripted error (a ``crash`` rule raises ``BrokenProcessPool``, exactly
+  what a dead worker produces) or calls the injectable ``sleep`` — so no real
+  process dies, no wall clock elapses, and the wrapped executor can even be a
+  plain :class:`~repro.runtime.executor.SerialExecutor`.
+
+Because faults fire at the boundary rather than inside task functions,
+nothing extra has to be picklable and the same plan drives all three
+executors identically.  ``plan.fired`` records every injection (rule index,
+call index, task) so tests can assert exactly which faults fired.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, ClassVar, Sequence
+
+__all__ = ["FaultRule", "FaultPlan", "FaultyExecutor"]
+
+
+@dataclass
+class FaultRule:
+    """One scripted fault: what to inject, on which tasks, how many times.
+
+    ``kind``
+        ``"error"`` raises ``error``; ``"crash"`` raises ``BrokenProcessPool``
+        (a dead worker, as the pool reports it); ``"delay"`` sleeps
+        ``delay_s`` on the injected clock, then lets the task run.
+    ``times``
+        How many matching calls fire this rule; ``None`` means every one
+        (a permanently-broken target).
+    ``match``
+        Optional task predicate — e.g. ``lambda task: task[0] == 2`` targets
+        shard 2 of a shard-search batch.  ``None`` matches every task.
+    ``on_calls``
+        Optional set of 1-based indices *within this rule's matching calls*:
+        ``{3}`` fires only on the third matching call.
+    """
+
+    kind: str
+    error: BaseException | None = None
+    delay_s: float = 0.0
+    times: int | None = 1
+    match: Callable[[Any], bool] | None = None
+    on_calls: frozenset[int] | None = None
+    matched: int = field(default=0, repr=False)
+    fired_count: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "crash", "delay"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind == "error" and self.error is None:
+            raise ValueError("an 'error' rule needs an exception instance")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be positive (or None for always)")
+
+    def consume(self, task: Any) -> bool:
+        """Whether this rule fires for ``task`` (advances its counters)."""
+        if self.times is not None and self.fired_count >= self.times:
+            return False
+        if self.match is not None and not self.match(task):
+            return False
+        self.matched += 1
+        if self.on_calls is not None and self.matched not in self.on_calls:
+            return False
+        self.fired_count += 1
+        return True
+
+
+class FaultPlan:
+    """A deterministic, thread-safe script of faults to inject.
+
+    Build it with the chainable :meth:`fail` / :meth:`crash_worker` /
+    :meth:`delay` calls, hand it to a :class:`FaultyExecutor`, and the same
+    plan produces the same failures on every run.  ``seed`` is carried for
+    symmetry with :class:`~repro.runtime.resilience.RuntimePolicy` — rules
+    fire by counting, not by chance, so determinism never rests on it.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.rules: list[FaultRule] = []
+        self.fired: list[tuple[int, int, Any]] = []  # (rule idx, call idx, task)
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # builders
+    # ------------------------------------------------------------------ #
+    def _add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def fail(self, error: BaseException, *, times: int | None = 1,
+             match: Callable[[Any], bool] | None = None,
+             on_calls: Sequence[int] | None = None) -> "FaultPlan":
+        """Raise ``error`` on matching calls (``times=None`` → always)."""
+        return self._add(FaultRule(
+            kind="error", error=error, times=times, match=match,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+        ))
+
+    def crash_worker(self, *, times: int | None = 1,
+                     match: Callable[[Any], bool] | None = None,
+                     on_calls: Sequence[int] | None = None) -> "FaultPlan":
+        """Simulate a dead pool worker (raises ``BrokenProcessPool``)."""
+        return self._add(FaultRule(
+            kind="crash", times=times, match=match,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+        ))
+
+    def delay(self, seconds: float, *, times: int | None = 1,
+              match: Callable[[Any], bool] | None = None,
+              on_calls: Sequence[int] | None = None) -> "FaultPlan":
+        """Sleep ``seconds`` (on the executor's injectable clock) then proceed."""
+        return self._add(FaultRule(
+            kind="delay", delay_s=seconds, times=times, match=match,
+            on_calls=None if on_calls is None else frozenset(on_calls),
+        ))
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def apply(self, task: Any, *, sleep: Callable[[float], None]) -> None:
+        """Fire the first matching rule for ``task``, if any.
+
+        Raises the scripted exception for ``error``/``crash`` rules; calls
+        ``sleep`` for ``delay`` rules and returns so the task proceeds.
+        """
+        with self._lock:
+            self._calls += 1
+            call = self._calls
+            fired: FaultRule | None = None
+            for index, rule in enumerate(self.rules):
+                if rule.consume(task):
+                    self.fired.append((index, call, task))
+                    fired = rule
+                    break
+        if fired is None:
+            return
+        if fired.kind == "delay":
+            sleep(fired.delay_s)
+            return
+        if fired.kind == "crash":
+            raise BrokenProcessPool(
+                "injected worker crash (a process in the pool terminated)"
+            )
+        raise fired.error
+
+    @property
+    def calls(self) -> int:
+        with self._lock:
+            return self._calls
+
+
+class FaultyExecutor:
+    """Inject a :class:`FaultPlan` into any executor at the submit boundary.
+
+    Satisfies the :class:`~repro.runtime.executor.SearchExecutor` protocol.
+    Faults fire in the parent process before the task reaches the inner
+    executor, so plans may hold unpicklable predicates and scripted
+    exceptions even when wrapping a process pool.  ``submit`` returns an
+    already-failed future when a fault fires, mirroring how a pool surfaces a
+    worker death to the caller.
+    """
+
+    executor_name: ClassVar[str] = "faulty"
+
+    def __init__(self, inner, plan: FaultPlan,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._inner = inner
+        self.plan = plan
+        self._sleep = sleep
+
+    @property
+    def workers(self) -> int:
+        return self._inner.workers
+
+    def configure(self, payload: Any) -> None:
+        self._inner.configure(payload)
+
+    def map(self, fn, tasks: Sequence[Any]) -> list:
+        results = []
+        for task in tasks:
+            self.plan.apply(task, sleep=self._sleep)
+            results.extend(self._inner.map(fn, [task]))
+        return results
+
+    def submit(self, fn, task) -> Future:
+        try:
+            self.plan.apply(task, sleep=self._sleep)
+        except BaseException as error:  # noqa: BLE001 - scripted fault
+            future: Future = Future()
+            future.set_exception(error)
+            return future
+        return self._inner.submit(fn, task)
+
+    def recover(self) -> None:
+        self._inner.recover()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()

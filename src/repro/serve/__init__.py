@@ -15,7 +15,14 @@ into something a production process can load and hit with traffic:
   Scaling is configuration: the bundle's shard plan re-shards the retrieval
   index through a :class:`~repro.kg.backends.ShardedBackend`
   (bitwise-identical results) and ``processes=N`` moves Part-1 preparation
-  onto a process pool via the :mod:`repro.runtime` executors.
+  onto a process pool via the :mod:`repro.runtime` executors.  Partial
+  failures degrade instead of erroring: a
+  :class:`~repro.runtime.RuntimePolicy` governs deadlines, retries and
+  circuit breakers on both fan-out paths, failed work falls back to serial
+  in-process execution (annotations stay bitwise-identical), and
+  :meth:`~repro.serve.service.AnnotationService.health` reports
+  ``healthy`` / ``degraded`` / ``failed`` with reasons
+  (:class:`~repro.serve.service.ServiceHealth`).
 
 Typical flow::
 
@@ -26,11 +33,12 @@ Typical flow::
 """
 
 from repro.serve.bundle import BUNDLE_FORMAT_VERSION, ServiceBundle
-from repro.serve.service import AnnotationService, ServiceStats
+from repro.serve.service import AnnotationService, ServiceHealth, ServiceStats
 
 __all__ = [
     "AnnotationService",
     "ServiceBundle",
     "ServiceStats",
+    "ServiceHealth",
     "BUNDLE_FORMAT_VERSION",
 ]

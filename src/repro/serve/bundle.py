@@ -30,6 +30,7 @@ has nothing but the bundle directory.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +39,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.core.annotator import KGLinkConfig
+from repro.core.errors import BundleCorrupted
 from repro.core.model import KGLinkModel
 from repro.kg.backends import (
     BM25Parameters,
@@ -72,6 +74,81 @@ MANIFEST_NAME = "manifest.json"
 WEIGHTS_NAME = "model.npz"
 INDEX_NAME = "index.npz"
 GRAPH_NAME = "graph.json"
+
+#: Every artifact the manifest's integrity record covers.
+ARTIFACT_NAMES = (WEIGHTS_NAME, INDEX_NAME, GRAPH_NAME)
+
+#: Manifest keys every supported format must carry (schema floor).
+REQUIRED_MANIFEST_KEYS = (
+    "format_version", "config", "label_vocabulary", "tokenizer_tokens",
+    "backend", "linker_config",
+)
+
+
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _read_manifest(directory: Path) -> dict:
+    """Read + schema-check the manifest, typing every corruption it can hit."""
+    path = directory / MANIFEST_NAME
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise BundleCorrupted(
+            f"bundle at {directory} is missing or cannot read {MANIFEST_NAME}"
+        ) from error
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BundleCorrupted(
+            f"{MANIFEST_NAME} in {directory} is not valid JSON "
+            f"(line {error.lineno}: {error.msg})"
+        ) from error
+    if not isinstance(manifest, dict):
+        raise BundleCorrupted(
+            f"{MANIFEST_NAME} in {directory} must hold a JSON object, "
+            f"found {type(manifest).__name__}"
+        )
+    missing = [key for key in REQUIRED_MANIFEST_KEYS if key not in manifest]
+    if missing:
+        raise BundleCorrupted(
+            f"{MANIFEST_NAME} in {directory} is missing required "
+            f"key(s): {', '.join(missing)}"
+        )
+    return manifest
+
+
+def _verify_artifacts(directory: Path, manifest: dict) -> None:
+    """Check artifact presence (always) and SHA-256 (when recorded at save).
+
+    Runs *before* any array is parsed, so a truncated ``model.npz`` surfaces
+    as :class:`BundleCorrupted` naming the file — not as whatever numpy
+    raises mid-parse.  Format-2 bundles predate the integrity record and only
+    get the existence check.
+    """
+    recorded = manifest.get("artifacts", {})
+    for name in ARTIFACT_NAMES:
+        path = directory / name
+        if not path.is_file():
+            raise BundleCorrupted(f"bundle at {directory} is missing {name}")
+        entry = recorded.get(name)
+        if not entry:
+            continue
+        size = path.stat().st_size
+        if "bytes" in entry and size != entry["bytes"]:
+            raise BundleCorrupted(
+                f"{name} in {directory} is {size} bytes, manifest recorded "
+                f"{entry['bytes']} (truncated or overwritten)"
+            )
+        if "sha256" in entry and _sha256(path) != entry["sha256"]:
+            raise BundleCorrupted(
+                f"{name} in {directory} does not match its recorded SHA-256"
+            )
 
 
 def tokenizer_from_tokens(tokens: list[str]) -> WordPieceTokenizer:
@@ -136,9 +213,17 @@ class ServiceBundle:
 
     # ------------------------------------------------------------------ #
     def save(self, directory: str | Path) -> Path:
-        """Write the bundle to ``directory``; returns the directory path."""
+        """Write the bundle to ``directory``; returns the directory path.
+
+        Artifacts are written first so the manifest — written last — can
+        record each one's byte size and SHA-256; :meth:`load` verifies that
+        integrity record before parsing any array.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        save_state_dict(self.model.state_dict(), directory / WEIGHTS_NAME)
+        np.savez_compressed(directory / INDEX_NAME, **self.backend.export_state())
+        (directory / GRAPH_NAME).write_text(json.dumps(self.graph_view.to_payload()))
         manifest = {
             "format_version": BUNDLE_FORMAT_VERSION,
             "config": dataclasses.asdict(self.config),
@@ -152,25 +237,38 @@ class ServiceBundle:
                 "num_shards": self.linker_config.num_shards,
                 "executor": self.linker_config.executor,
             },
+            "artifacts": {
+                name: {
+                    "bytes": (directory / name).stat().st_size,
+                    "sha256": _sha256(directory / name),
+                }
+                for name in ARTIFACT_NAMES
+            },
             **self.metadata,
         }
         (directory / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
-        save_state_dict(self.model.state_dict(), directory / WEIGHTS_NAME)
-        np.savez_compressed(directory / INDEX_NAME, **self.backend.export_state())
-        (directory / GRAPH_NAME).write_text(json.dumps(self.graph_view.to_payload()))
         return directory
 
     @classmethod
     def load(cls, directory: str | Path) -> "ServiceBundle":
-        """Load a bundle; needs no graph and performs no index rebuild."""
+        """Load a bundle; needs no graph and performs no index rebuild.
+
+        Validation runs first: manifest schema, artifact presence, and the
+        SHA-256 integrity record written by :meth:`save` are all checked
+        before any array is parsed, and every corruption surfaces as
+        :class:`~repro.core.errors.BundleCorrupted` naming the offending
+        file.  An unsupported-but-well-formed format still raises
+        ``ValueError`` (a compatibility problem, not a corrupt bundle).
+        """
         directory = Path(directory)
-        manifest = json.loads((directory / MANIFEST_NAME).read_text())
+        manifest = _read_manifest(directory)
         version = manifest.get("format_version")
         if version not in SUPPORTED_BUNDLE_FORMATS:
             raise ValueError(
                 f"unsupported bundle format {version!r} "
                 f"(this build reads formats {SUPPORTED_BUNDLE_FORMATS})"
             )
+        _verify_artifacts(directory, manifest)
         config = KGLinkConfig(**manifest["config"])
         tokenizer = tokenizer_from_tokens(manifest["tokenizer_tokens"])
         label_vocabulary = list(manifest["label_vocabulary"])
@@ -182,17 +280,34 @@ class ServiceBundle:
             use_feature_vector=config.use_feature_vector,
             seed=config.seed,
         )
-        model.load_state_dict(load_state_dict(directory / WEIGHTS_NAME))
+        try:
+            model.load_state_dict(load_state_dict(directory / WEIGHTS_NAME))
+        except BundleCorrupted:
+            raise
+        except Exception as error:  # noqa: BLE001 - name the file for operators
+            raise BundleCorrupted(
+                f"{WEIGHTS_NAME} in {directory} failed to parse: {error}"
+            ) from error
         model.eval()
 
-        with np.load(directory / INDEX_NAME) as archive:
-            state = {key: archive[key] for key in archive.files}
+        try:
+            with np.load(directory / INDEX_NAME) as archive:
+                state = {key: archive[key] for key in archive.files}
+        except Exception as error:  # noqa: BLE001 - name the file for operators
+            raise BundleCorrupted(
+                f"{INDEX_NAME} in {directory} failed to parse: {error}"
+            ) from error
         backend_name = manifest["backend"]["name"]
         backend = restore_backend(backend_name, state)
 
-        graph_view = KGSnapshot.from_payload(
-            json.loads((directory / GRAPH_NAME).read_text())
-        )
+        try:
+            graph_view = KGSnapshot.from_payload(
+                json.loads((directory / GRAPH_NAME).read_text())
+            )
+        except Exception as error:  # noqa: BLE001 - name the file for operators
+            raise BundleCorrupted(
+                f"{GRAPH_NAME} in {directory} failed to parse: {error}"
+            ) from error
         linker_payload = dict(manifest["linker_config"])
         linker_payload["bm25"] = BM25Parameters(**linker_payload["bm25"])
         # Format-2 manifests predate the shard plan; LinkerConfig defaults
@@ -203,7 +318,7 @@ class ServiceBundle:
             for key, value in manifest.items()
             if key not in ("format_version", "config", "label_vocabulary",
                            "tokenizer_tokens", "backend", "linker_config",
-                           "shard_plan")
+                           "shard_plan", "artifacts")
         }
         return cls(
             config=config,

@@ -26,7 +26,16 @@ into the existing inference machinery:
   memoised in a bounded :class:`~repro.core.cache.LRUCache` keyed by table
   id — a warm request skips candidate extraction *and* serialisation — and
   :meth:`AnnotationService.stats` reports per-request telemetry
-  (:class:`ServiceStats`: Part-1/encode latency, bucket fill, cache hits).
+  (:class:`ServiceStats`: Part-1/encode latency, bucket fill, cache hits,
+  plus fault counters: retries, timeouts, worker crashes, fallbacks);
+* partial failures degrade instead of killing the request: the prepare
+  executor runs behind a :class:`~repro.runtime.ResilientExecutor`
+  (deadlines, bounded retries, a circuit breaker) configured by a
+  :class:`~repro.runtime.RuntimePolicy`, a chunk whose dispatch still fails
+  is prepared serially in-process (identical code path, so annotations stay
+  bitwise-identical), and :meth:`AnnotationService.health` reports
+  ``healthy`` / ``degraded`` / ``failed`` with reasons.  The policy travels
+  with saved bundles as optional manifest metadata.
 
 ``annotate`` / ``annotate_batch`` may be called from several threads: the
 Part-1 stage, Part-2 inference (shared model state) and every telemetry
@@ -39,7 +48,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from itertools import islice
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Iterator
@@ -47,17 +56,19 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 import numpy as np
 
 from repro.core.cache import LRUCache
+from repro.core.errors import ServiceClosed
 from repro.core.pipeline import KGCandidateExtractor
 from repro.core.serialization import TableSerializer
 from repro.core.trainer import KGLinkTrainer, PreparedExample
 from repro.data.table import Table
-from repro.kg.backends import restore_backend, shard_boundaries
+from repro.kg.backends import ShardedBackend, restore_backend, shard_boundaries
 from repro.kg.linker import EntityLinker, LinkerConfig
 from repro.kg.snapshot import KGSnapshot
 from repro.runtime import ProcessExecutor, SearchExecutor
+from repro.runtime.resilience import ResilienceStats, ResilientExecutor, RuntimePolicy
 from repro.serve.bundle import ServiceBundle
 
-__all__ = ["ServiceStats", "AnnotationService"]
+__all__ = ["ServiceStats", "ServiceHealth", "AnnotationService"]
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (annotator -> serve)
     from repro.core.annotator import KGLinkConfig
@@ -77,6 +88,13 @@ class ServiceStats:
     cache_hits: int
     cache_misses: int
     cache_size: int
+    # Fault counters (since start or the last reset_stats), aggregated across
+    # the prepare path and the sharded retrieval path.
+    retries: int = 0
+    timeouts: int = 0
+    worker_crashes: int = 0
+    fallbacks: int = 0
+    breaker_trips: int = 0
 
     @property
     def bucket_fill(self) -> float:
@@ -106,6 +124,36 @@ class ServiceStats:
             "cache_misses": self.cache_misses,
             "cache_hit_rate": self.cache_hit_rate,
             "cache_size": self.cache_size,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "worker_crashes": self.worker_crashes,
+            "fallbacks": self.fallbacks,
+            "breaker_trips": self.breaker_trips,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceHealth:
+    """One :meth:`AnnotationService.health` snapshot.
+
+    ``status`` is ``"healthy"`` (no faults observed), ``"degraded"`` (the
+    service is answering, but breakers are open and/or fallbacks, retries or
+    timeouts have been counted since the last stats reset — annotations stay
+    bitwise-identical, only latency suffers) or ``"failed"`` (the service
+    cannot answer: it was closed, or even the serial in-process fallback
+    died).  ``reasons`` says why, ``breakers`` maps each breaker target to
+    its current state.
+    """
+
+    status: str
+    reasons: tuple[str, ...] = ()
+    breakers: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "status": self.status,
+            "reasons": list(self.reasons),
+            "breakers": dict(self.breakers),
         }
 
 
@@ -197,6 +245,11 @@ def _prepare_chunk_task(spec: _PreparerSpec, tables: list[Table]
     return spec.preparer().prepare(tables)
 
 
+def _prepare_target(task) -> str:
+    """Breaker key of a prepare chunk: the whole pool is one target."""
+    return "prepare"
+
+
 class AnnotationService:
     """Serve column-type annotations from a loaded :class:`ServiceBundle`.
 
@@ -219,21 +272,33 @@ class AnnotationService:
         Inject a ready :class:`~repro.runtime.SearchExecutor` for the
         prepare stage instead of ``processes`` (the service configures it
         with its prepare spec and owns it from then on).
+    policy:
+        The :class:`~repro.runtime.RuntimePolicy` governing deadlines,
+        retries and circuit breakers on the prepare and shard-search paths.
+        Defaults to the policy saved in the bundle's metadata
+        (``runtime_policy``), or the stock policy when the bundle carries
+        none.
     """
 
     def __init__(self, bundle: ServiceBundle, max_batch: int = 16,
                  cache_size: int = 1024, processes: int = 0,
-                 executor: SearchExecutor | None = None):
+                 executor: SearchExecutor | None = None,
+                 policy: RuntimePolicy | None = None):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
         if processes < 0:
             raise ValueError("processes must be non-negative")
         self.bundle = bundle
         self.max_batch = max_batch
+        if policy is None:
+            saved = bundle.metadata.get("runtime_policy")
+            policy = RuntimePolicy.from_dict(saved) if saved else RuntimePolicy()
+        self.policy = policy
         config = bundle.config
         # The bundle's shard plan lives in linker_config: num_shards > 1 makes
         # EntityLinker wrap the restored backend in a ShardedBackend.
-        self.linker = EntityLinker(config=bundle.linker_config, index=bundle.backend)
+        self.linker = EntityLinker(config=bundle.linker_config, index=bundle.backend,
+                                   runtime_policy=policy)
         self.extractor = KGCandidateExtractor(
             bundle.graph_view, config.part1_config(), linker=self.linker
         )
@@ -248,8 +313,19 @@ class AnnotationService:
         if executor is None and processes > 0:
             executor = ProcessExecutor(max_workers=processes)
         self._prepare_executor = executor
+        self._resilience = ResilienceStats()
         if executor is not None:
             executor.configure(self._preparer_spec())
+            # All prepare chunks share one breaker target: the pool either
+            # works or it doesn't, unlike shards which fail independently.
+            self._prepare_dispatch = ResilientExecutor(
+                executor, policy, target_of=_prepare_target,
+                stats=self._resilience,
+            )
+        else:
+            self._prepare_dispatch = None
+        self._closed = False
+        self._fatal: str | None = None
         # Part-1 state (the retrieval backend's shared score buffer, the
         # extractor's caches) is not thread-safe; Part-2 shares model state.
         # The two locks serialize the respective stages so annotate()/
@@ -271,7 +347,8 @@ class AnnotationService:
     @classmethod
     def load(cls, directory: str | Path, max_batch: int = 16,
              cache_size: int = 1024, processes: int = 0,
-             executor: SearchExecutor | None = None) -> "AnnotationService":
+             executor: SearchExecutor | None = None,
+             policy: RuntimePolicy | None = None) -> "AnnotationService":
         """Start a service from a saved bundle directory.
 
         No knowledge graph is constructed and no index is rebuilt: the
@@ -280,19 +357,31 @@ class AnnotationService:
         snapshot.
         """
         return cls(ServiceBundle.load(directory), max_batch=max_batch,
-                   cache_size=cache_size, processes=processes, executor=executor)
+                   cache_size=cache_size, processes=processes,
+                   executor=executor, policy=policy)
 
     def save(self, directory: str | Path) -> Path:
-        """Persist the underlying bundle (see :meth:`ServiceBundle.save`)."""
+        """Persist the underlying bundle (see :meth:`ServiceBundle.save`).
+
+        The service's :class:`~repro.runtime.RuntimePolicy` rides along as
+        optional manifest metadata (``runtime_policy``) — the bundle format
+        is unchanged, and a reloading service starts under the same policy.
+        """
+        self.bundle.metadata["runtime_policy"] = self.policy.as_dict()
         return self.bundle.save(directory)
 
     def close(self) -> None:
         """Shut down owned worker pools (prepare executor, shard executor).
 
-        Only pools this service brought into existence are touched: a
-        sharded index that arrived pre-wrapped in the bundle (e.g. shared
-        with a still-training annotator) keeps its executor running.
+        Idempotent: the second and later calls are no-ops.  Only pools this
+        service brought into existence are touched: a sharded index that
+        arrived pre-wrapped in the bundle (e.g. shared with a still-training
+        annotator) keeps its executor running.  After closing, ``annotate*``
+        raises :class:`~repro.core.errors.ServiceClosed`.
         """
+        if self._closed:
+            return
+        self._closed = True
         if self._prepare_executor is not None:
             self._prepare_executor.close()
         self.linker.close()
@@ -301,7 +390,15 @@ class AnnotationService:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Close and nothing else: any in-flight exception propagates.
         self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed(
+                "this AnnotationService is closed; load the bundle into a "
+                "new service to keep annotating"
+            )
 
     # ------------------------------------------------------------------ #
     # internals
@@ -322,25 +419,64 @@ class AnnotationService:
         """Start Part-1 for uncached tables; returns a join() closure.
 
         With an executor the tables are split into one chunk per worker and
-        submitted; ``join()`` collects the results in order.  Without one
-        (``processes=0``) the work happens inline and ``join()`` is
-        immediate — same contract, zero indirection cost.
+        submitted through the resilient dispatch (deadline, retries,
+        breaker); ``join()`` collects the results in order, and a chunk whose
+        dispatch still fails — or whose breaker is open — is prepared
+        serially in this process instead, so one sick pool degrades latency
+        without failing the request.  Without an executor (``processes=0``)
+        the work happens inline and ``join()`` is immediate — same contract,
+        zero indirection cost.
         """
         if not missing:
             return lambda: []
-        executor = self._prepare_executor
-        if executor is None:
-            # Serial fallback: the same prepare stage the workers run, but
+        dispatch = self._prepare_dispatch
+        if dispatch is None:
+            # Serial path: the same prepare stage the workers run, but
             # against this process's own extractor/serializer.
             prepared = self._local_preparer.prepare(missing)
             return lambda: prepared
-        n_chunks = max(1, min(executor.workers, len(missing)))
-        futures = [
-            executor.submit(_prepare_chunk_task, missing[lo:hi])
+        n_chunks = max(1, min(dispatch.workers, len(missing)))
+        chunks = [
+            missing[lo:hi]
             for lo, hi in shard_boundaries(len(missing), n_chunks)
             if hi > lo
         ]
-        return lambda: [example for future in futures for example in future.result()]
+        futures = [
+            dispatch.submit(_prepare_chunk_task, chunk) for chunk in chunks
+        ]
+
+        def join() -> list[PreparedExample]:
+            examples: list[PreparedExample] = []
+            for chunk, future in zip(chunks, futures):
+                try:
+                    examples.extend(future.result())
+                except Exception as error:  # noqa: BLE001 - degrade locally
+                    examples.extend(self._prepare_locally(chunk, error))
+            return examples
+
+        return join
+
+    def _prepare_locally(self, chunk: list[Table],
+                         error: BaseException) -> list[PreparedExample]:
+        """Serial in-process fallback for one failed prepare chunk.
+
+        Runs the exact prepare stage the workers run (bitwise-identical
+        output) under the prepare lock.  If even this fails the service has
+        no way to produce the annotation: the failure is recorded so
+        :meth:`health` reports ``failed``, and the error propagates.
+        """
+        self._resilience.increment("fallbacks")
+        try:
+            with self._prepare_lock:
+                return self._local_preparer.prepare(chunk)
+        except Exception as fallback_error:  # noqa: BLE001 - now truly down
+            with self._stats_lock:
+                self._fatal = (
+                    f"in-process prepare fallback failed "
+                    f"({type(fallback_error).__name__}: {fallback_error}) after "
+                    f"executor failure ({type(error).__name__}: {error})"
+                )
+            raise
 
     def _prepare_pending(self, tables: list[Table]):
         """Begin preparing ``tables``; returns a closure yielding the results.
@@ -432,6 +568,7 @@ class AnnotationService:
 
     def annotate_batch(self, tables: Iterable[Table]) -> list[list[str]]:
         """Annotate many tables in one request; results align with input."""
+        self._ensure_open()
         tables = list(tables)
         with self._stats_lock:
             self._requests += 1
@@ -452,15 +589,23 @@ class AnnotationService:
         alternate.  Results are yielded per table, in input order,
         regardless of the micro-batch boundaries.
         """
+        # Validate eagerly (this is not itself a generator function) so a
+        # closed service or bad batch size raises at call time, not on the
+        # first next().
+        self._ensure_open()
         size = max_batch or self.max_batch
         if size <= 0:
             raise ValueError("max_batch must be positive")
-        iterator = iter(tables)
+        return self._annotate_stream(iter(tables), size)
+
+    def _annotate_stream(self, iterator: Iterator[Table],
+                         size: int) -> Iterator[list[str]]:
         with self._stats_lock:
             self._requests += 1
         chunk = list(islice(iterator, size))
         pending = self._prepare_pending(chunk) if chunk else None
         while pending is not None:
+            self._ensure_open()
             prepared = pending()
             # Start Part 1 of the next chunk before predicting this one.
             next_chunk = list(islice(iterator, size))
@@ -472,9 +617,41 @@ class AnnotationService:
     # ------------------------------------------------------------------ #
     # telemetry
     # ------------------------------------------------------------------ #
+    def _resilience_snapshot(self) -> tuple[dict[str, int], dict[str, str], int]:
+        """Aggregate fault counters, breaker states and trips over both paths.
+
+        The prepare path contributes the service's own
+        :class:`~repro.runtime.ResilienceStats` and dispatch breakers; the
+        retrieval path contributes the sharded index's (when the linker's
+        index is a :class:`~repro.kg.backends.ShardedBackend`).  Breaker keys
+        are namespaced (``prepare:…`` / ``shard:…``) so one snapshot reads
+        unambiguously.
+        """
+        counters = self._resilience.snapshot()
+        breakers: dict[str, str] = {}
+        trips = 0
+        if self._prepare_dispatch is not None:
+            breakers.update({
+                f"prepare:{target}": state
+                for target, state in self._prepare_dispatch.breaker_states().items()
+            })
+            trips += self._prepare_dispatch.breaker_trips()
+        index = self.linker.index
+        if isinstance(index, ShardedBackend):
+            shard = index.resilience_stats()
+            for name, value in shard["counters"].items():
+                counters[name] = counters.get(name, 0) + value
+            breakers.update({
+                f"shard:{target}": state
+                for target, state in shard["breakers"].items()
+            })
+            trips += shard["breaker_trips"]
+        return counters, breakers, trips
+
     def stats(self) -> ServiceStats:
         """Cumulative telemetry since start (or the last :meth:`reset_stats`)."""
         info = self._cache.cache_info()
+        counters, _, trips = self._resilience_snapshot()
         with self._stats_lock:
             return ServiceStats(
                 requests=self._requests,
@@ -487,10 +664,50 @@ class AnnotationService:
                 cache_hits=info.hits,
                 cache_misses=info.misses,
                 cache_size=info.currsize,
+                retries=counters["retries"],
+                timeouts=counters["timeouts"],
+                worker_crashes=counters["worker_crashes"],
+                fallbacks=counters["fallbacks"],
+                breaker_trips=trips,
             )
 
+    def health(self) -> ServiceHealth:
+        """One operational snapshot: ``healthy`` / ``degraded`` / ``failed``.
+
+        ``failed`` means the service cannot answer (closed, or even the
+        serial in-process fallback died).  ``degraded`` means requests are
+        being answered — with bitwise-identical annotations — but the fault
+        machinery has been doing work since the last :meth:`reset_stats`:
+        open/half-open breakers, fallback activations, retries or timeouts.
+        """
+        counters, breakers, _ = self._resilience_snapshot()
+        if self._closed:
+            return ServiceHealth("failed", ("service closed",), breakers)
+        with self._stats_lock:
+            fatal = self._fatal
+        if fatal is not None:
+            return ServiceHealth("failed", (fatal,), breakers)
+        reasons: list[str] = []
+        not_closed = {
+            target: state for target, state in breakers.items()
+            if state != "closed"
+        }
+        for target, state in sorted(not_closed.items()):
+            reasons.append(f"breaker {target} is {state}")
+        for name in ("fallbacks", "worker_crashes", "timeouts", "retries"):
+            if counters.get(name, 0):
+                reasons.append(f"{counters[name]} {name.replace('_', ' ')}")
+        status = "degraded" if reasons else "healthy"
+        return ServiceHealth(status, tuple(reasons), breakers)
+
     def reset_stats(self) -> None:
-        """Zero all telemetry counters (the cache contents stay warm)."""
+        """Zero all telemetry counters (the cache contents stay warm).
+
+        Also clears the fault counters on both resilience paths, so a
+        service whose breakers have closed again reports ``healthy`` once
+        the incident is acknowledged.  Breaker *states* and lifetime trip
+        totals are live values and persist.
+        """
         with self._stats_lock:
             self._requests = 0
             self._tables = 0
@@ -500,3 +717,7 @@ class AnnotationService:
             self._useful_tokens = 0
             self._padded_tokens = 0
         self._cache.reset_counters()
+        self._resilience.reset()
+        index = self.linker.index
+        if isinstance(index, ShardedBackend):
+            index.reset_resilience_stats()
