@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Gate benchmark regressions against the committed BENCH_*.json baselines.
 
-Compares a freshly generated ``BENCH_plm.json`` / ``BENCH_retrieval.json``
-against the baselines committed at the repo root and exits non-zero when any
-tracked metric regressed by more than the tolerance (default 25%).
+Compares a freshly generated ``BENCH_plm.json`` / ``BENCH_retrieval.json`` /
+``BENCH_serving.json`` against the baselines committed at the repo root and
+exits non-zero when any tracked metric regressed by more than the tolerance
+(default 25%).
 
 Metrics come in two classes:
 
@@ -100,6 +101,35 @@ RETRIEVAL_METRICS = [
            max_regression=0.05),
 ]
 
+SERVING_METRICS = [
+    # Gateway tier (BENCH_serving.json).  Absolute throughput/latency only
+    # transfers between comparable machines; the ratios below are the CI
+    # gate.
+    Metric("gateway.capacity_tables_per_second", higher_is_better=True,
+           is_ratio=False),
+    Metric("gateway.closed_loop_p50_ms", higher_is_better=False, is_ratio=False),
+    Metric("gateway.closed_loop_p99_ms", higher_is_better=False, is_ratio=False),
+    # What request coalescing buys over a max_batch=1 gateway on the same
+    # service — the micro-batcher's reason to exist.
+    Metric("gateway.batch_coalescing_speedup", higher_is_better=True,
+           is_ratio=True),
+    # Zero silent drops under 2x overload: every request answered with a
+    # typed status.  This is an invariant, not a timing — near-zero slack.
+    Metric("gateway.overload_x2.answered_rate", higher_is_better=True,
+           is_ratio=True, max_regression=0.001),
+    # Overload floor: at 2x the gateway must still convert roughly its
+    # capacity into 200s (sheds the rest, typed).  Loose bound — it exists
+    # to catch goodput collapse, not scheduler noise.
+    Metric("gateway.overload_x2.goodput_rate", higher_is_better=True,
+           is_ratio=True, max_regression=0.75),
+    # Successful answers honour their budget when uncongested.  Gated at
+    # 0.5x where the number measures the serving path (at 2x, client-side
+    # accept-backlog congestion dominates the tail); the wide allowance
+    # still keeps p99 well under the deadline itself.
+    Metric("gateway.overload_x0_5.p99_over_deadline", higher_is_better=False,
+           is_ratio=True, max_regression=3.0),
+]
+
 
 def _lookup(document: dict, dotted: str):
     node = document
@@ -167,6 +197,10 @@ def main() -> int:
                         default=REPO_ROOT / "BENCH_retrieval.json")
     parser.add_argument("--retrieval-current", type=Path, default=None,
                         help="freshly generated retrieval benchmark JSON")
+    parser.add_argument("--serving-baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_serving.json")
+    parser.add_argument("--serving-current", type=Path, default=None,
+                        help="freshly generated gateway serving benchmark JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional regression per metric (default 0.25)")
     parser.add_argument("--ratios-only", action="store_true",
@@ -182,8 +216,13 @@ def main() -> int:
         pairs.append(
             ("retrieval", args.retrieval_baseline, args.retrieval_current, RETRIEVAL_METRICS)
         )
+    if args.serving_current is not None:
+        pairs.append(
+            ("serving", args.serving_baseline, args.serving_current, SERVING_METRICS)
+        )
     if not pairs:
-        parser.error("nothing to check: pass --plm-current and/or --retrieval-current")
+        parser.error("nothing to check: pass --plm-current, --retrieval-current "
+                     "and/or --serving-current")
 
     regressions: list[str] = []
     for label, baseline_path, current_path, metrics in pairs:

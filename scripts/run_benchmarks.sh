@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Run the retrieval and PLM benchmarks and record the numbers in
-# BENCH_retrieval.json / BENCH_plm.json at the repo root, so every PR leaves
-# a performance data point behind.
+# Run the retrieval, PLM and gateway-serving benchmarks and record the
+# numbers in BENCH_retrieval.json / BENCH_plm.json / BENCH_serving.json at
+# the repo root, so every PR leaves a performance data point behind.
 #
 # Usage: scripts/run_benchmarks.sh [extra bench_retrieval.py args...]
 set -euo pipefail
@@ -13,8 +13,9 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python benchmarks/bench_retrieval.py --output BENCH_retrieval.json "$@"
 python benchmarks/bench_plm.py --output BENCH_plm.json
+python benchmarks/bench_serving.py --output BENCH_serving.json
 
 echo
-echo "Wrote $REPO_ROOT/BENCH_retrieval.json and $REPO_ROOT/BENCH_plm.json"
+echo "Wrote BENCH_retrieval.json, BENCH_plm.json and BENCH_serving.json in $REPO_ROOT"
 echo "For pytest-benchmark component timings, run:"
 echo "  PYTHONPATH=src python -m pytest benchmarks/bench_components.py -q"

@@ -21,7 +21,11 @@ detects into one of these classes, so operators and tests can route on type:
   during load (missing file, checksum mismatch, malformed manifest).  Also a
   ``ValueError`` so legacy ``except ValueError`` call sites keep working;
 * :class:`ServiceClosed` — an ``annotate*`` call arrived after
-  :meth:`~repro.serve.service.AnnotationService.close`.
+  :meth:`~repro.serve.service.AnnotationService.close`;
+* :class:`GatewayOverloaded` — the serving gateway shed the request before
+  running it (intake queue full, or the gateway is draining).  The request
+  did no work; the caller should back off and retry (HTTP 503 +
+  ``Retry-After``).
 
 This module is intentionally dependency-free so the runtime, retrieval and
 serving layers can all import it without cycles.
@@ -37,6 +41,7 @@ __all__ = [
     "ShardUnavailable",
     "BundleCorrupted",
     "ServiceClosed",
+    "GatewayOverloaded",
 ]
 
 
@@ -66,3 +71,7 @@ class BundleCorrupted(ServingError, ValueError):
 
 class ServiceClosed(ServingError):
     """The service was closed; no further annotate calls are accepted."""
+
+
+class GatewayOverloaded(ServingError):
+    """The gateway shed the request (queue full or draining); retry later."""

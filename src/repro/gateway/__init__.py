@@ -1,0 +1,58 @@
+"""Overload-safe async serving gateway (stdlib asyncio, zero dependencies).
+
+``repro.gateway`` is the network front door of the serving stack: an
+asyncio HTTP tier that micro-batches concurrent requests into
+:meth:`~repro.serve.service.AnnotationService.annotate_batch` calls, applies
+admission control (bounded intake, oldest-deadline-first shedding, a
+concurrency limiter), propagates per-request deadlines (``X-Deadline-Ms``)
+down into the resilience layer's budgets, maps the typed error taxonomy of
+:mod:`repro.core.errors` onto HTTP statuses, and drains gracefully on
+``SIGTERM`` — every accepted request is answered with predictions or a typed
+error, never dropped.
+
+Start one from a saved bundle::
+
+    python -m repro.gateway --bundle bundle/ --port 8080
+
+or embed it::
+
+    from repro.gateway import Gateway, GatewayConfig
+
+    async with Gateway(service, GatewayConfig(port=0)) as gateway:
+        ...  # http://127.0.0.1:{gateway.port}/annotate
+
+Endpoints: ``POST /annotate`` (one table object or a list), ``GET /healthz``,
+``GET /stats``, ``GET /metrics`` (Prometheus text).
+"""
+
+from repro.gateway.admission import (
+    DEADLINE_HEADER,
+    AdmissionQueue,
+    Deadline,
+    PendingRequest,
+)
+from repro.gateway.app import Gateway, GatewayConfig, status_for
+from repro.gateway.batcher import MicroBatcher
+from repro.gateway.http import (
+    HttpConnection,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    http_request,
+)
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "status_for",
+    "AdmissionQueue",
+    "Deadline",
+    "PendingRequest",
+    "DEADLINE_HEADER",
+    "MicroBatcher",
+    "HttpConnection",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "http_request",
+]

@@ -1,0 +1,248 @@
+"""Admission control for the gateway: deadlines and a shedding intake queue.
+
+Overload policy, in one place:
+
+* every request carries a :class:`Deadline` — parsed from the
+  ``X-Deadline-Ms`` header or defaulted by the gateway — on the monotonic
+  clock, so "how long is this answer still worth computing?" is a number
+  every layer can read;
+* admitted requests wait in an :class:`AdmissionQueue` bounded at
+  ``maxsize``.  When a request arrives at a full queue, the queue sheds
+  **oldest-deadline-first**: the entry whose deadline is nearest expiry (the
+  one least likely to be answered in time, so the cheapest to drop) is
+  rejected with :class:`~repro.core.errors.GatewayOverloaded` — that victim
+  may be the incoming request itself.  Shedding never grows the queue, so
+  memory under overload is a constant, not a function of traffic;
+* at dequeue time (:meth:`AdmissionQueue.take`) entries whose deadline
+  already expired while queued are failed with
+  :class:`~repro.core.errors.DeadlineExceeded` instead of being batched —
+  expired work never reaches the PLM.
+
+Everything here runs on the event loop thread, so the queue needs no locks —
+only an :class:`asyncio.Event` to wake the batcher.  The clock is injectable
+for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import DeadlineExceeded, GatewayOverloaded
+from repro.data.table import Table
+
+__all__ = ["DEADLINE_HEADER", "Deadline", "PendingRequest", "AdmissionQueue"]
+
+#: Request header carrying the client's remaining budget in milliseconds.
+DEADLINE_HEADER = "x-deadline-ms"
+
+
+class Deadline:
+    """An absolute point on the monotonic clock a request must beat.
+
+    ``at_s`` is ``None`` for unbounded requests (no header and no configured
+    default): :meth:`remaining_s` is then ``inf`` and :meth:`expired` never
+    fires.
+    """
+
+    __slots__ = ("at_s", "_clock")
+
+    def __init__(self, at_s: float | None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.at_s = at_s
+        self._clock = clock
+
+    @classmethod
+    def never(cls, clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(None, clock)
+
+    @classmethod
+    def after(cls, budget_s: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        return cls(clock() + budget_s, clock)
+
+    @classmethod
+    def from_header(cls, value: str | None, default_ms: float | None = None,
+                    clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """Parse an ``X-Deadline-Ms`` header value (``None`` → the default).
+
+        Raises ``ValueError`` for junk — the gateway maps that to a 400, the
+        one deadline failure that is the client's fault.
+        """
+        if value is None:
+            if default_ms is None:
+                return cls.never(clock)
+            return cls.after(default_ms / 1e3, clock)
+        try:
+            budget_ms = float(value)
+        except ValueError:
+            raise ValueError(
+                f"invalid {DEADLINE_HEADER} header {value!r}: expected "
+                "milliseconds as a number"
+            ) from None
+        if not math.isfinite(budget_ms):
+            raise ValueError(
+                f"invalid {DEADLINE_HEADER} header {value!r}: must be finite"
+            )
+        return cls.after(budget_ms / 1e3, clock)
+
+    # ------------------------------------------------------------------ #
+    def remaining_s(self) -> float:
+        return math.inf if self.at_s is None else self.at_s - self._clock()
+
+    def expired(self) -> bool:
+        return self.at_s is not None and self._clock() > self.at_s
+
+    def sort_key(self) -> float:
+        """Earlier deadline sorts first; unbounded requests sort last."""
+        return math.inf if self.at_s is None else self.at_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.at_s is None:
+            return "Deadline(never)"
+        return f"Deadline(in {self.remaining_s() * 1e3:.1f} ms)"
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting for (or riding in) a micro-batch."""
+
+    tables: list[Table]
+    deadline: Deadline
+    future: asyncio.Future
+    enqueued_at: float
+    seq: int = field(default_factory=itertools.count().__next__)
+
+    def fail(self, error: BaseException) -> None:
+        """Resolve the waiter with a typed error (idempotent)."""
+        if not self.future.done():
+            self.future.set_exception(error)
+
+
+class AdmissionQueue:
+    """A bounded intake queue that sheds oldest-deadline-first on overflow.
+
+    Single-consumer (the :class:`~repro.gateway.batcher.MicroBatcher`),
+    many producers (connection handlers), all on the event loop thread.
+    Counters (``admitted`` / ``shed_queue_full`` / ``shed_expired``) feed the
+    gateway's ``/stats``.
+    """
+
+    def __init__(self, maxsize: int = 256,
+                 clock: Callable[[], float] = time.monotonic):
+        if maxsize < 1:
+            raise ValueError("maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._clock = clock
+        self._items: list[PendingRequest] = []
+        self._arrived = asyncio.Event()
+        self._closed = False
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_expired = 0
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop intake (``offer`` raises); queued entries stay to be drained."""
+        self._closed = True
+        self._arrived.set()  # wake the consumer so drain can finish
+
+    # ------------------------------------------------------------------ #
+    def offer(self, pending: PendingRequest) -> None:
+        """Admit ``pending`` or shed, oldest-deadline-first.
+
+        Raises :class:`~repro.core.errors.GatewayOverloaded` when the queue
+        is draining, or when the queue is full and the *incoming* request
+        holds the earliest deadline of everyone competing for a slot.  When a
+        *queued* entry holds the earliest deadline instead, that victim's
+        future is failed with ``GatewayOverloaded`` and the newcomer takes
+        its slot.
+        """
+        if self._closed:
+            raise GatewayOverloaded("gateway is draining; retry another replica")
+        if len(self._items) >= self.maxsize:
+            victim = min(self._items + [pending],
+                         key=lambda p: (p.deadline.sort_key(), p.seq))
+            self.shed_queue_full += 1
+            if victim is pending:
+                raise GatewayOverloaded(
+                    f"intake queue full ({self.maxsize} pending) and the "
+                    "request's deadline is the nearest to expiry"
+                )
+            self._items.remove(victim)
+            victim.fail(GatewayOverloaded(
+                f"shed from a full intake queue ({self.maxsize} pending) to "
+                "admit a request with a later deadline"
+            ))
+        self._items.append(pending)
+        self.admitted += 1
+        self._arrived.set()
+
+    async def take(self, max_items: int, max_wait_s: float) -> list[PendingRequest]:
+        """Dequeue up to ``max_items`` entries, coalescing for ``max_wait_s``.
+
+        Blocks until at least one entry is available (or the queue closes),
+        then keeps collecting arrivals for at most ``max_wait_s`` — the
+        micro-batching window.  Entries whose deadline expired while queued
+        are failed with :class:`~repro.core.errors.DeadlineExceeded` and not
+        returned.  Returns ``[]`` only once the queue is closed *and* empty,
+        which is the consumer's signal to stop.
+        """
+        while not self._items:
+            if self._closed:
+                return []
+            await self._wait_for_arrival(None)
+        if not self._closed and len(self._items) < max_items and max_wait_s > 0:
+            flush_at = self._clock() + max_wait_s
+            while len(self._items) < max_items and not self._closed:
+                remaining = flush_at - self._clock()
+                if remaining <= 0:
+                    break
+                if not await self._wait_for_arrival(remaining):
+                    break
+        batch: list[PendingRequest] = []
+        taken = 0
+        while self._items and taken < max_items:
+            pending = self._items.pop(0)
+            taken += 1
+            if pending.deadline.expired():
+                self.shed_expired += 1
+                pending.fail(DeadlineExceeded(
+                    "deadline expired while the request was queued"
+                ))
+                continue
+            batch.append(pending)
+        if not self._items and not self._closed:
+            self._arrived.clear()
+        return batch
+
+    async def _wait_for_arrival(self, timeout: float | None) -> bool:
+        """Wait for the next arrival (or close); ``False`` on timeout.
+
+        The event is cleared *before* awaiting: everything runs on the loop
+        thread and there is no await between the clear and the wait, so an
+        ``offer``/``close`` can only land after the wait has started — no
+        wakeup is lost, and a set-since-last-batch event cannot turn the
+        coalescing window into a busy loop.
+        """
+        self._arrived.clear()
+        try:
+            await asyncio.wait_for(self._arrived.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False

@@ -1,0 +1,281 @@
+"""A minimal HTTP/1.1 layer on asyncio streams — stdlib only, by design.
+
+The gateway needs exactly four things from HTTP: parse a request, write a
+response, keep connections alive, and refuse oversized payloads.  Pulling in
+an ASGI stack for that would add the repo's first serving dependency, so this
+module implements the narrow slice directly on ``asyncio`` streams:
+
+* :func:`read_request` / :func:`write_response` — the server side.  Requests
+  are limited (header block and body size) and malformed input raises
+  :class:`HttpError` with the status the handler should answer with;
+* :class:`HttpRequest` / :class:`HttpResponse` — plain dataclasses with JSON
+  helpers; header names are lower-cased at the parser so lookups are
+  case-insensitive the way HTTP requires;
+* :class:`HttpConnection` / :func:`http_request` — the matching client, used
+  by the tests, the load generator (``benchmarks/bench_serving.py``) and the
+  example.  ``HttpConnection`` keeps its socket open across requests so a
+  closed-loop client measures the gateway, not connection setup.
+
+Unsupported generality is rejected loudly rather than half-implemented:
+chunked request bodies get ``411 Length Required`` (the gateway's clients
+always know their payload size), and anything that does not parse as
+HTTP/1.x gets ``400``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "read_request",
+    "write_response",
+    "HttpConnection",
+    "http_request",
+]
+
+#: Upper bound on the request line + header block, in bytes.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Default upper bound on a request body, in bytes (the gateway config can
+#: lower it).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    410: "Gone",
+    411: "Length Required",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure with the HTTP status the peer should see."""
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(detail)
+        self.status = status
+        self.detail = detail
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.  Header names are lower-cased."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """Decode the body as JSON (raises :class:`HttpError` 400 on junk)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}") from error
+
+
+@dataclass
+class HttpResponse:
+    """One response to serialise.  ``headers`` may add/override anything."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_json(cls, payload: Any, status: int = 200,
+                  headers: Mapping[str, str] | None = None) -> "HttpResponse":
+        return cls(
+            status=status,
+            body=json.dumps(payload).encode("utf-8"),
+            content_type="application/json",
+            headers=dict(headers or {}),
+        )
+
+    @classmethod
+    def from_text(cls, text: str, status: int = 200,
+                  content_type: str = "text/plain; charset=utf-8") -> "HttpResponse":
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type=content_type)
+
+    def json(self) -> Any:
+        """Decode the body as JSON (client-side convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+    @property
+    def reason(self) -> str:
+        return REASONS.get(self.status, "Unknown")
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes | None:
+    """The request line + headers, or ``None`` on a clean EOF between requests."""
+    try:
+        return await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # peer closed an idle keep-alive connection
+        raise HttpError(400, "connection closed mid-request") from error
+    except asyncio.LimitOverrunError as error:
+        raise HttpError(413, "header block exceeds the size limit") from error
+
+
+def _parse_head(head: bytes) -> tuple[str, str, dict[str, str], dict[str, str]]:
+    try:
+        lines = head.decode("latin-1").split("\r\n")
+        method, target, version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as error:
+        raise HttpError(400, "malformed request line") from error
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = dict(parse_qsl(parts.query))
+    return method.upper(), parts.path or "/", query, headers
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+                       ) -> HttpRequest | None:
+    """Parse one request; ``None`` means the peer closed the idle connection.
+
+    Raises :class:`HttpError` for anything malformed or over limit — the
+    server answers with the error's status and closes the connection.
+    """
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    method, path, query, headers = _parse_head(head)
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked request bodies are not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as error:
+            raise HttpError(400, "malformed Content-Length") from error
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpError(413, f"request body exceeds {max_body_bytes} bytes")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise HttpError(400, "connection closed mid-body") from error
+    return HttpRequest(method=method, path=path, query=query,
+                       headers=headers, body=body)
+
+
+async def write_response(writer: asyncio.StreamWriter, response: HttpResponse,
+                         keep_alive: bool = True) -> None:
+    headers = {
+        "content-type": response.content_type,
+        "content-length": str(len(response.body)),
+        "connection": "keep-alive" if keep_alive else "close",
+    }
+    headers.update({name.lower(): value
+                    for name, value in response.headers.items()})
+    head = [f"HTTP/1.1 {response.status} {response.reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(response.body)
+    await writer.drain()
+
+
+# --------------------------------------------------------------------------- #
+# the matching client
+# --------------------------------------------------------------------------- #
+class HttpConnection:
+    """A keep-alive client connection (tests, example, load generator)."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int) -> "HttpConnection":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, method: str, path: str, *,
+                      json_body: Any = None,
+                      headers: Mapping[str, str] | None = None) -> HttpResponse:
+        body = b"" if json_body is None else json.dumps(json_body).encode("utf-8")
+        out = {
+            "host": "gateway",
+            "content-length": str(len(body)),
+        }
+        if json_body is not None:
+            out["content-type"] = "application/json"
+        out.update({name.lower(): value for name, value in (headers or {}).items()})
+        head = [f"{method.upper()} {path} HTTP/1.1"]
+        head.extend(f"{name}: {value}" for name, value in out.items())
+        self._writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+        self._writer.write(body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> HttpResponse:
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        _, status, *_ = lines[0].split(" ", 2)
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = int(headers.get("content-length", "0"))
+        if length:
+            body = await self._reader.readexactly(length)
+        return HttpResponse(
+            status=int(status), body=body,
+            content_type=headers.get("content-type", ""), headers=headers,
+        )
+
+    async def aclose(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):  # peer already gone
+            pass
+
+    async def __aenter__(self) -> "HttpConnection":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+
+async def http_request(host: str, port: int, method: str, path: str, *,
+                       json_body: Any = None,
+                       headers: Mapping[str, str] | None = None) -> HttpResponse:
+    """One-shot convenience: open, request, close."""
+    async with await HttpConnection.open(host, port) as connection:
+        return await connection.request(method, path, json_body=json_body,
+                                        headers=headers)

@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from itertools import islice
 from pathlib import Path
@@ -56,7 +57,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 import numpy as np
 
 from repro.core.cache import LRUCache
-from repro.core.errors import ServiceClosed
+from repro.core.errors import DeadlineExceeded, ServiceClosed
 from repro.core.pipeline import KGCandidateExtractor
 from repro.core.serialization import TableSerializer
 from repro.core.trainer import KGLinkTrainer, PreparedExample
@@ -109,27 +110,36 @@ class ServiceStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
-    def as_dict(self) -> dict:
-        """Counters plus derived rates, ready for a metrics endpoint."""
+    def to_dict(self) -> dict:
+        """Counters plus derived rates as JSON-safe plain types.
+
+        Every value is a built-in ``int`` or ``float``, so the payload can go
+        straight through ``json.dumps`` — the gateway's ``/stats`` endpoint
+        (and any external scraper) uses this instead of reaching into the
+        dataclass.
+        """
         return {
-            "requests": self.requests,
-            "tables": self.tables,
-            "part1_seconds": self.part1_seconds,
-            "encode_seconds": self.encode_seconds,
-            "batches": self.batches,
-            "useful_tokens": self.useful_tokens,
-            "padded_tokens": self.padded_tokens,
-            "bucket_fill": self.bucket_fill,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "cache_hit_rate": self.cache_hit_rate,
-            "cache_size": self.cache_size,
-            "retries": self.retries,
-            "timeouts": self.timeouts,
-            "worker_crashes": self.worker_crashes,
-            "fallbacks": self.fallbacks,
-            "breaker_trips": self.breaker_trips,
+            "requests": int(self.requests),
+            "tables": int(self.tables),
+            "part1_seconds": float(self.part1_seconds),
+            "encode_seconds": float(self.encode_seconds),
+            "batches": int(self.batches),
+            "useful_tokens": int(self.useful_tokens),
+            "padded_tokens": int(self.padded_tokens),
+            "bucket_fill": float(self.bucket_fill),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "cache_hit_rate": float(self.cache_hit_rate),
+            "cache_size": int(self.cache_size),
+            "retries": int(self.retries),
+            "timeouts": int(self.timeouts),
+            "worker_crashes": int(self.worker_crashes),
+            "fallbacks": int(self.fallbacks),
+            "breaker_trips": int(self.breaker_trips),
         }
+
+    # Backwards-compatible alias (the pre-gateway name).
+    as_dict = to_dict
 
 
 @dataclass(frozen=True)
@@ -149,12 +159,22 @@ class ServiceHealth:
     reasons: tuple[str, ...] = ()
     breakers: dict = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot (plain strings throughout).
+
+        Breaker targets are hashables, not necessarily strings — they are
+        stringified here so the payload survives ``json.dumps`` for the
+        gateway's ``/healthz`` endpoint.
+        """
         return {
-            "status": self.status,
-            "reasons": list(self.reasons),
-            "breakers": dict(self.breakers),
+            "status": str(self.status),
+            "reasons": [str(reason) for reason in self.reasons],
+            "breakers": {str(target): str(state)
+                         for target, state in self.breakers.items()},
         }
+
+    # Backwards-compatible alias (the pre-gateway name).
+    as_dict = to_dict
 
 
 # --------------------------------------------------------------------------- #
@@ -325,6 +345,10 @@ class AnnotationService:
         else:
             self._prepare_dispatch = None
         self._closed = False
+        # close() drains: annotate calls register here while running, and
+        # close() waits for the count to hit zero before tearing pools down.
+        self._lifecycle = threading.Condition()
+        self._inflight = 0
         self._fatal: str | None = None
         # Part-1 state (the retrieval backend's shared score buffer, the
         # extractor's caches) is not thread-safe; Part-2 shares model state.
@@ -371,17 +395,26 @@ class AnnotationService:
         return self.bundle.save(directory)
 
     def close(self) -> None:
-        """Shut down owned worker pools (prepare executor, shard executor).
+        """Drain in-flight requests, then shut down owned worker pools.
 
-        Idempotent: the second and later calls are no-ops.  Only pools this
-        service brought into existence are touched: a sharded index that
-        arrived pre-wrapped in the bundle (e.g. shared with a still-training
-        annotator) keeps its executor running.  After closing, ``annotate*``
-        raises :class:`~repro.core.errors.ServiceClosed`.
+        Closing is a two-phase drain rather than a race: the service first
+        stops admitting (``annotate*`` calls arriving from here on raise
+        :class:`~repro.core.errors.ServiceClosed`), then waits for every
+        in-flight ``annotate``/``annotate_batch``/stream chunk to finish
+        before tearing down the prepare executor and the shard pool — a
+        concurrent request never sees its pool die under it.  Idempotent:
+        the second and later calls return immediately (without waiting for
+        the first call's drain).  Only pools this service brought into
+        existence are touched: a sharded index that arrived pre-wrapped in
+        the bundle (e.g. shared with a still-training annotator) keeps its
+        executor running.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            while self._inflight:
+                self._lifecycle.wait()
         if self._prepare_executor is not None:
             self._prepare_executor.close()
         self.linker.close()
@@ -400,6 +433,30 @@ class AnnotationService:
                 "new service to keep annotating"
             )
 
+    @contextmanager
+    def _track(self):
+        """Hold one in-flight slot for the duration of an annotate call.
+
+        Entering raises :class:`~repro.core.errors.ServiceClosed` once
+        :meth:`close` has begun; leaving wakes a draining ``close()`` when
+        the last in-flight call finishes.
+        """
+        with self._lifecycle:
+            self._ensure_open()
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._lifecycle:
+                self._inflight -= 1
+                if not self._inflight:
+                    self._lifecycle.notify_all()
+
+    @staticmethod
+    def _check_deadline(deadline_s: float | None, stage: str) -> None:
+        if deadline_s is not None and time.monotonic() > deadline_s:
+            raise DeadlineExceeded(f"request budget exhausted {stage}")
+
     # ------------------------------------------------------------------ #
     # internals
     # ------------------------------------------------------------------ #
@@ -415,7 +472,8 @@ class AnnotationService:
             graph_view=KGSnapshot.from_graph(bundle.graph_view),
         )
 
-    def _spawn_missing(self, missing: list[Table]):
+    def _spawn_missing(self, missing: list[Table],
+                       deadline_s: float | None = None):
         """Start Part-1 for uncached tables; returns a join() closure.
 
         With an executor the tables are split into one chunk per worker and
@@ -442,7 +500,8 @@ class AnnotationService:
             if hi > lo
         ]
         futures = [
-            dispatch.submit(_prepare_chunk_task, chunk) for chunk in chunks
+            dispatch.submit(_prepare_chunk_task, chunk, deadline_s=deadline_s)
+            for chunk in chunks
         ]
 
         def join() -> list[PreparedExample]:
@@ -478,7 +537,8 @@ class AnnotationService:
                 )
             raise
 
-    def _prepare_pending(self, tables: list[Table]):
+    def _prepare_pending(self, tables: list[Table],
+                         deadline_s: float | None = None):
         """Begin preparing ``tables``; returns a closure yielding the results.
 
         The cache partition and the fan-out happen now (under the prepare
@@ -511,7 +571,7 @@ class AnnotationService:
                     missing_keys.append(key)
                 else:
                     slots[position] = cached
-            join = self._spawn_missing(missing_tables)
+            join = self._spawn_missing(missing_tables, deadline_s=deadline_s)
         # Only time actually spent in Part 1 counts: the partition/spawn work
         # above plus the blocking part of resolve() below.  Timing the whole
         # spawn-to-resolve span would charge Part 1 for whatever the caller
@@ -536,13 +596,14 @@ class AnnotationService:
 
         return resolve
 
-    def _prepare(self, tables: list[Table]) -> list[PreparedExample]:
+    def _prepare(self, tables: list[Table],
+                 deadline_s: float | None = None) -> list[PreparedExample]:
         """Part 1 + serialisation for ``tables``, through the bounded LRU cache.
 
         The cache holds the fully *prepared* example (model-ready arrays),
         so a warm table costs one dict lookup before inference.
         """
-        return self._prepare_pending(tables)()
+        return self._prepare_pending(tables, deadline_s=deadline_s)()
 
     def _predict(self, examples: list[PreparedExample]) -> list[list[str]]:
         """Part 2 for prepared examples (micro-batched, length-bucketed)."""
@@ -562,20 +623,38 @@ class AnnotationService:
     # ------------------------------------------------------------------ #
     # the serving API
     # ------------------------------------------------------------------ #
-    def annotate(self, table: Table) -> list[str]:
+    def annotate(self, table: Table, budget_s: float | None = None) -> list[str]:
         """Predict a semantic type for every column of one table."""
-        return self.annotate_batch([table])[0]
+        return self.annotate_batch([table], budget_s=budget_s)[0]
 
-    def annotate_batch(self, tables: Iterable[Table]) -> list[list[str]]:
-        """Annotate many tables in one request; results align with input."""
-        self._ensure_open()
-        tables = list(tables)
-        with self._stats_lock:
-            self._requests += 1
-            self._tables += len(tables)
-        if not tables:
-            return []
-        return self._predict(self._prepare(tables))
+    def annotate_batch(self, tables: Iterable[Table],
+                       budget_s: float | None = None) -> list[list[str]]:
+        """Annotate many tables in one request; results align with input.
+
+        ``budget_s`` is an optional per-request deadline (seconds of wall
+        clock from now).  It is checked at every stage boundary — admission,
+        after Part-1 prepare, after PLM inference — and threaded into the
+        prepare dispatch so the resilience layer's per-task waits and retry
+        backoff never outlive the request (see
+        :meth:`~repro.runtime.ResilientExecutor.submit`).  A blown budget
+        raises :class:`~repro.core.errors.DeadlineExceeded`; the worst-case
+        overshoot between two checks is one PLM micro-batch or one
+        policy-bounded prepare task, never an unbounded hang.
+        """
+        deadline_s = None if budget_s is None else time.monotonic() + budget_s
+        with self._track():
+            self._check_deadline(deadline_s, "at admission")
+            tables = list(tables)
+            with self._stats_lock:
+                self._requests += 1
+                self._tables += len(tables)
+            if not tables:
+                return []
+            prepared = self._prepare(tables, deadline_s=deadline_s)
+            self._check_deadline(deadline_s, "after Part-1 prepare")
+            predictions = self._predict(prepared)
+            self._check_deadline(deadline_s, "after PLM inference")
+            return predictions
 
     def annotate_stream(self, tables: Iterable[Table],
                         max_batch: int | None = None) -> Iterator[list[str]]:
@@ -605,14 +684,18 @@ class AnnotationService:
         chunk = list(islice(iterator, size))
         pending = self._prepare_pending(chunk) if chunk else None
         while pending is not None:
-            self._ensure_open()
-            prepared = pending()
-            # Start Part 1 of the next chunk before predicting this one.
-            next_chunk = list(islice(iterator, size))
-            pending = self._prepare_pending(next_chunk) if next_chunk else None
-            with self._stats_lock:
-                self._tables += len(prepared)
-            yield from self._predict(prepared)
+            # Each chunk holds an in-flight slot only while it computes:
+            # close() waits for the current chunk, and the next loop
+            # iteration raises ServiceClosed instead of racing teardown.
+            with self._track():
+                prepared = pending()
+                # Start Part 1 of the next chunk before predicting this one.
+                next_chunk = list(islice(iterator, size))
+                pending = self._prepare_pending(next_chunk) if next_chunk else None
+                with self._stats_lock:
+                    self._tables += len(prepared)
+                predictions = self._predict(prepared)
+            yield from predictions
 
     # ------------------------------------------------------------------ #
     # telemetry

@@ -1,0 +1,277 @@
+"""Unit tests for deadlines and the shedding admission queue.
+
+The overload policy under test: bounded intake, oldest-deadline-first
+shedding on overflow (the victim may be the incoming request), and
+expired-at-dequeue shedding so the PLM never sees dead work.  The clock is
+injected everywhere, so nothing here sleeps for correctness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.errors import DeadlineExceeded, GatewayOverloaded
+from repro.gateway import AdmissionQueue, Deadline, PendingRequest
+
+from tests.gateway.util import FakeClock, make_table
+
+
+class TestDeadline:
+    def test_never_is_unbounded(self):
+        clock = FakeClock()
+        deadline = Deadline.never(clock)
+        clock.advance(1e9)
+        assert deadline.remaining_s() == float("inf")
+        assert not deadline.expired()
+        assert deadline.sort_key() == float("inf")
+
+    def test_after_counts_down_and_expires(self):
+        clock = FakeClock()
+        deadline = Deadline.after(2.0, clock)
+        assert deadline.remaining_s() == pytest.approx(2.0)
+        clock.advance(1.5)
+        assert deadline.remaining_s() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.advance(1.0)
+        assert deadline.expired()
+        assert deadline.remaining_s() == pytest.approx(-0.5)
+
+    def test_header_absent_uses_default(self):
+        clock = FakeClock()
+        deadline = Deadline.from_header(None, default_ms=250.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(0.25)
+
+    def test_header_absent_without_default_is_unbounded(self):
+        assert Deadline.from_header(None, clock=FakeClock()).at_s is None
+
+    def test_header_value_wins_over_default(self):
+        clock = FakeClock()
+        deadline = Deadline.from_header("1500", default_ms=10.0, clock=clock)
+        assert deadline.remaining_s() == pytest.approx(1.5)
+
+    def test_negative_header_is_already_expired(self):
+        assert Deadline.from_header("-5", clock=FakeClock()).expired()
+
+    @pytest.mark.parametrize("junk", ["soon", "", "12ms", "nan", "inf", "-inf"])
+    def test_junk_header_raises_value_error(self, junk):
+        with pytest.raises(ValueError, match="x-deadline-ms"):
+            Deadline.from_header(junk, clock=FakeClock())
+
+    def test_earlier_deadline_sorts_first(self):
+        clock = FakeClock()
+        near = Deadline.after(1.0, clock)
+        far = Deadline.after(9.0, clock)
+        never = Deadline.never(clock)
+        ordered = sorted([never, far, near], key=Deadline.sort_key)
+        assert ordered == [near, far, never]
+
+
+def _pending(clock, budget_s=None, tables=1):
+    deadline = (Deadline.never(clock) if budget_s is None
+                else Deadline.after(budget_s, clock))
+    return PendingRequest(
+        tables=[make_table(f"t{id(deadline)}") for _ in range(tables)],
+        deadline=deadline,
+        future=asyncio.get_running_loop().create_future(),
+        enqueued_at=clock(),
+    )
+
+
+def _error_of(future):
+    assert future.done()
+    return future.exception()
+
+
+class TestAdmissionQueueOffer:
+    def test_admits_until_full(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=3, clock=clock)
+            for _ in range(3):
+                queue.offer(_pending(clock, budget_s=1.0))
+            assert queue.depth == 3
+            assert queue.admitted == 3
+            assert queue.shed_queue_full == 0
+        asyncio.run(main())
+
+    def test_overflow_sheds_the_earliest_queued_deadline(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=2, clock=clock)
+            near = _pending(clock, budget_s=0.5)
+            far = _pending(clock, budget_s=5.0)
+            queue.offer(near)
+            queue.offer(far)
+            newcomer = _pending(clock, budget_s=2.0)
+            queue.offer(newcomer)  # near is the cheapest to drop
+            assert isinstance(_error_of(near.future), GatewayOverloaded)
+            assert not far.future.done() and not newcomer.future.done()
+            assert queue.depth == 2
+            assert queue.shed_queue_full == 1
+        asyncio.run(main())
+
+    def test_overflow_rejects_the_incoming_when_it_expires_soonest(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=1, clock=clock)
+            queued = _pending(clock, budget_s=5.0)
+            queue.offer(queued)
+            with pytest.raises(GatewayOverloaded, match="nearest to expiry"):
+                queue.offer(_pending(clock, budget_s=0.1))
+            assert not queued.future.done()
+            assert queue.depth == 1
+            assert queue.shed_queue_full == 1
+        asyncio.run(main())
+
+    def test_unbounded_requests_are_shed_last(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=1, clock=clock)
+            bounded = _pending(clock, budget_s=30.0)
+            queue.offer(bounded)
+            # An unbounded newcomer outranks any finite deadline: the
+            # bounded entry is the victim.
+            queue.offer(_pending(clock, budget_s=None))
+            assert isinstance(_error_of(bounded.future), GatewayOverloaded)
+            # ...and an unbounded queue sheds a bounded newcomer at the door.
+            with pytest.raises(GatewayOverloaded):
+                queue.offer(_pending(clock, budget_s=30.0))
+        asyncio.run(main())
+
+    def test_deadline_tie_breaks_by_arrival_order(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=1, clock=clock)
+            first = _pending(clock, budget_s=None)
+            queue.offer(first)
+            second = _pending(clock, budget_s=None)
+            queue.offer(second)  # same sort key: the older entry is shed
+            assert isinstance(_error_of(first.future), GatewayOverloaded)
+            assert not second.future.done()
+        asyncio.run(main())
+
+    def test_closed_queue_refuses_intake(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=4, clock=clock)
+            queue.close()
+            with pytest.raises(GatewayOverloaded, match="draining"):
+                queue.offer(_pending(clock, budget_s=1.0))
+        asyncio.run(main())
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(maxsize=0)
+
+
+class TestAdmissionQueueTake:
+    def test_take_respects_max_items(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=8, clock=clock)
+            offered = [_pending(clock, budget_s=1.0) for _ in range(3)]
+            for pending in offered:
+                queue.offer(pending)
+            batch = await queue.take(max_items=2, max_wait_s=0.0)
+            assert batch == offered[:2]
+            assert queue.depth == 1
+        asyncio.run(main())
+
+    def test_expired_entries_are_shed_at_dequeue(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=8, clock=clock)
+            doomed = _pending(clock, budget_s=0.2)
+            alive = _pending(clock, budget_s=60.0)
+            queue.offer(doomed)
+            queue.offer(alive)
+            clock.advance(1.0)  # doomed expires while queued
+            batch = await queue.take(max_items=8, max_wait_s=0.0)
+            assert batch == [alive]
+            error = _error_of(doomed.future)
+            assert isinstance(error, DeadlineExceeded)
+            assert "queued" in str(error)
+            assert queue.shed_expired == 1
+        asyncio.run(main())
+
+    def test_take_blocks_until_an_offer_arrives(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=8, clock=clock)
+            take = asyncio.create_task(queue.take(max_items=4, max_wait_s=0.0))
+            await asyncio.sleep(0.01)
+            assert not take.done()
+            pending = _pending(clock, budget_s=1.0)
+            queue.offer(pending)
+            assert await asyncio.wait_for(take, 2.0) == [pending]
+        asyncio.run(main())
+
+    def test_take_coalesces_arrivals_within_the_window(self):
+        async def main():
+            queue = AdmissionQueue(maxsize=8)  # real clock: a real window
+
+            async def trickle():
+                for index in range(3):
+                    pending = PendingRequest(
+                        tables=[make_table(f"t{index}")],
+                        deadline=Deadline.never(),
+                        future=asyncio.get_running_loop().create_future(),
+                        enqueued_at=0.0,
+                    )
+                    queue.offer(pending)
+                    await asyncio.sleep(0.005)
+
+            feeder = asyncio.create_task(trickle())
+            batch = await asyncio.wait_for(
+                queue.take(max_items=8, max_wait_s=0.2), 5.0
+            )
+            await feeder
+            assert len(batch) == 3  # one coalesced batch, not three singles
+        asyncio.run(main())
+
+    def test_take_returns_early_once_max_items_arrive(self):
+        async def main():
+            queue = AdmissionQueue(maxsize=8)
+            take = asyncio.create_task(queue.take(max_items=2, max_wait_s=30.0))
+            await asyncio.sleep(0)
+            for index in range(2):
+                queue.offer(PendingRequest(
+                    tables=[make_table(f"t{index}")],
+                    deadline=Deadline.never(),
+                    future=asyncio.get_running_loop().create_future(),
+                    enqueued_at=0.0,
+                ))
+                await asyncio.sleep(0)
+            # Full batch assembled: no need to sit out the 30 s window.
+            assert len(await asyncio.wait_for(take, 2.0)) == 2
+        asyncio.run(main())
+
+    def test_closed_and_empty_means_stop(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=8, clock=clock)
+            queue.close()
+            assert await queue.take(max_items=4, max_wait_s=0.0) == []
+        asyncio.run(main())
+
+    def test_close_wakes_a_blocked_consumer(self):
+        async def main():
+            queue = AdmissionQueue(maxsize=8)
+            take = asyncio.create_task(queue.take(max_items=4, max_wait_s=0.0))
+            await asyncio.sleep(0.01)
+            queue.close()
+            assert await asyncio.wait_for(take, 2.0) == []
+        asyncio.run(main())
+
+    def test_close_leaves_admitted_work_to_drain(self):
+        async def main():
+            clock = FakeClock()
+            queue = AdmissionQueue(maxsize=8, clock=clock)
+            pending = _pending(clock, budget_s=5.0)
+            queue.offer(pending)
+            queue.close()
+            assert await queue.take(max_items=4, max_wait_s=0.0) == [pending]
+            assert await queue.take(max_items=4, max_wait_s=0.0) == []
+        asyncio.run(main())

@@ -1,0 +1,186 @@
+"""Unit tests for the stdlib HTTP/1.1 slice under the gateway.
+
+Parsing is tested directly against fed ``StreamReader`` bytes — malformed
+and over-limit input must raise :class:`HttpError` with the status the
+server should answer, never escape as a stray ``ValueError``.  One socket
+round trip pins the client and server halves against each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway import HttpError, HttpResponse, http_request
+from repro.gateway.http import (
+    MAX_HEADER_BYTES,
+    read_request,
+    write_response,
+)
+
+
+def _reader_with(raw: bytes, limit: int = MAX_HEADER_BYTES) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader(limit=limit)
+    reader.feed_data(raw)
+    reader.feed_eof()
+    return reader
+
+
+def _parse(raw: bytes, **kwargs):
+    async def main():
+        return await read_request(_reader_with(raw), **kwargs)
+    return asyncio.run(main())
+
+
+def _parse_error(raw: bytes, **kwargs) -> HttpError:
+    with pytest.raises(HttpError) as info:
+        _parse(raw, **kwargs)
+    return info.value
+
+
+class TestReadRequest:
+    def test_post_with_body(self):
+        request = _parse(
+            b"POST /annotate?mode=fast HTTP/1.1\r\n"
+            b"Host: gateway\r\n"
+            b"X-Deadline-Ms: 250\r\n"
+            b"Content-Length: 14\r\n"
+            b"\r\n"
+            b'{"columns":[]}'
+        )
+        assert request.method == "POST"
+        assert request.path == "/annotate"
+        assert request.query == {"mode": "fast"}
+        # Header names are lower-cased: lookups are case-insensitive.
+        assert request.headers["x-deadline-ms"] == "250"
+        assert request.json() == {"columns": []}
+
+    def test_get_without_body(self):
+        request = _parse(b"GET /healthz HTTP/1.1\r\nHost: g\r\n\r\n")
+        assert (request.method, request.path, request.body) == ("GET", "/healthz", b"")
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_truncated_head_is_400(self):
+        assert _parse_error(b"POST /annotate HTTP/1.1\r\nHost:").status == 400
+
+    def test_truncated_body_is_400(self):
+        error = _parse_error(
+            b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"
+        )
+        assert error.status == 400
+        assert "mid-body" in error.detail
+
+    def test_malformed_request_line_is_400(self):
+        assert _parse_error(b"NONSENSE\r\n\r\n").status == 400
+
+    def test_non_http_protocol_is_400(self):
+        assert _parse_error(b"GET / SPDY/3\r\n\r\n").status == 400
+
+    def test_malformed_header_line_is_400(self):
+        assert _parse_error(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").status == 400
+
+    @pytest.mark.parametrize("value", ["ten", "-4"])
+    def test_bad_content_length_is_400(self, value):
+        raw = f"POST /x HTTP/1.1\r\nContent-Length: {value}\r\n\r\n".encode()
+        assert _parse_error(raw).status == 400
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST /x HTTP/1.1\r\nContent-Length: 1000\r\n\r\n" + b"x" * 1000
+        error = _parse_error(raw, max_body_bytes=64)
+        assert error.status == 413
+
+    def test_oversized_header_block_is_413(self):
+        raw = (b"GET / HTTP/1.1\r\nX-Big: " + b"x" * 4096 + b"\r\n\r\n")
+
+        async def main():
+            with pytest.raises(HttpError) as info:
+                await read_request(_reader_with(raw, limit=256))
+            assert info.value.status == 413
+        asyncio.run(main())
+
+    def test_chunked_body_is_411(self):
+        error = _parse_error(
+            b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        )
+        assert error.status == 411
+
+
+class _SinkWriter:
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data.extend(chunk)
+
+    async def drain(self) -> None:
+        pass
+
+
+class TestWriteResponse:
+    def _render(self, response, keep_alive=True) -> bytes:
+        async def main():
+            sink = _SinkWriter()
+            await write_response(sink, response, keep_alive=keep_alive)
+            return bytes(sink.data)
+        return asyncio.run(main())
+
+    def test_status_line_headers_and_body(self):
+        raw = self._render(HttpResponse.from_json({"ok": True}, status=200))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert "content-type: application/json" in lines
+        assert f"content-length: {len(body)}" in lines
+        assert "connection: keep-alive" in lines
+        assert json.loads(body) == {"ok": True}
+
+    def test_close_and_extra_headers(self):
+        response = HttpResponse.from_json(
+            {"error": "GatewayOverloaded"}, status=503,
+            headers={"Retry-After": "1"},
+        )
+        raw = self._render(response, keep_alive=False).decode()
+        assert raw.startswith("HTTP/1.1 503 Service Unavailable")
+        assert "connection: close" in raw
+        assert "retry-after: 1" in raw
+
+    def test_unknown_status_still_renders(self):
+        raw = self._render(HttpResponse.from_text("odd", status=418))
+        assert raw.startswith(b"HTTP/1.1 418 Unknown")
+
+
+class TestSocketRoundTrip:
+    def test_client_and_server_halves_agree(self):
+        async def main():
+            async def handler(reader, writer):
+                request = await read_request(reader)
+                payload = {"echo": request.json(), "path": request.path}
+                await write_response(writer, HttpResponse.from_json(payload))
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                response = await http_request(
+                    "127.0.0.1", port, "POST", "/annotate",
+                    json_body={"table_id": "t1"},
+                )
+            finally:
+                server.close()
+                await server.wait_closed()
+            assert response.status == 200
+            assert response.json() == {"echo": {"table_id": "t1"},
+                                       "path": "/annotate"}
+        asyncio.run(main())
+
+    def test_request_json_rejects_junk(self):
+        request = _parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\n{nope"
+        )
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400

@@ -502,3 +502,130 @@ class TestAnnotatorCache:
         info = annotator.processed_cache_info()
         assert info.hits == 1
         assert info.misses == 5
+
+
+class TestStatsSerialization:
+    def test_stats_to_dict_is_json_safe(self, bundle_dir, serve_tables):
+        with AnnotationService.load(bundle_dir) as service:
+            service.annotate_batch(serve_tables[:2])
+            payload = service.stats().to_dict()
+        # Straight through json: no numpy scalars, no dataclass leftovers.
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["requests"] == 1
+        assert payload["tables"] == 2
+        assert 0.0 <= payload["bucket_fill"] <= 1.0
+        assert 0.0 <= payload["cache_hit_rate"] <= 1.0
+        for name, value in payload.items():
+            assert type(value) in (int, float), (name, type(value))
+        # The pre-gateway name keeps working.
+        with AnnotationService.load(bundle_dir) as service:
+            assert service.stats().as_dict() == service.stats().to_dict()
+
+    def test_health_to_dict_is_json_safe(self, bundle_dir):
+        with AnnotationService.load(bundle_dir) as service:
+            payload = service.health().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload == {"status": "healthy", "reasons": [], "breakers": {}}
+
+
+class TestAnnotateBudget:
+    """``budget_s`` turns annotate calls into deadline-bounded work."""
+
+    def test_generous_budget_changes_nothing(self, bundle_dir, serve_tables):
+        with AnnotationService.load(bundle_dir) as service:
+            expected = service.annotate_batch(serve_tables)
+            assert service.annotate_batch(serve_tables, budget_s=60.0) == expected
+            assert service.annotate(serve_tables[0], budget_s=60.0) == expected[0]
+
+    def test_exhausted_budget_raises_at_admission(self, bundle_dir, serve_tables):
+        from repro.core.errors import DeadlineExceeded
+
+        with AnnotationService.load(bundle_dir) as service:
+            with pytest.raises(DeadlineExceeded):
+                service.annotate_batch(serve_tables, budget_s=0.0)
+            with pytest.raises(DeadlineExceeded):
+                service.annotate(serve_tables[0], budget_s=-1.0)
+            # The failed calls left no in-flight registration behind: the
+            # service still answers, and close() will not wedge.
+            assert service.annotate(serve_tables[0]) is not None
+
+    def test_tiny_budget_fails_typed_never_hangs(self, bundle_dir, serve_tables):
+        from repro.core.errors import DeadlineExceeded
+
+        # Smaller than any real stage: whichever boundary notices first must
+        # raise the typed error rather than letting the request run long.
+        with AnnotationService.load(bundle_dir, cache_size=0) as service:
+            with pytest.raises(DeadlineExceeded):
+                service.annotate_batch(serve_tables, budget_s=1e-7)
+
+
+class TestCloseRace:
+    """close() must drain in-flight annotate calls before touching pools."""
+
+    def test_close_blocks_until_in_flight_work_finishes(self, bundle_dir,
+                                                        serve_tables):
+        import threading
+        import time as _time
+
+        service = AnnotationService.load(bundle_dir)
+        started = threading.Event()
+        release = threading.Event()
+        original = service._prepare
+
+        def gated(tables, deadline_s=None):
+            started.set()
+            assert release.wait(10.0)
+            return original(tables, deadline_s=deadline_s)
+
+        service._prepare = gated
+        results: list = []
+        annotator = threading.Thread(
+            target=lambda: results.append(service.annotate_batch(serve_tables[:3]))
+        )
+        annotator.start()
+        assert started.wait(10.0)
+        closer = threading.Thread(target=service.close)
+        closer.start()
+        _time.sleep(0.2)
+        # The drain is real: close() is still waiting on the in-flight batch.
+        assert closer.is_alive()
+        release.set()
+        annotator.join(timeout=30.0)
+        closer.join(timeout=30.0)
+        assert not closer.is_alive() and not annotator.is_alive()
+        assert results and len(results[0]) == 3  # the riders got answers
+        with pytest.raises(Exception):
+            service.annotate(serve_tables[0])  # and the service is now closed
+
+    def test_concurrent_annotate_and_close_never_crashes(self, bundle_dir,
+                                                         serve_tables):
+        import threading
+
+        from repro.core.errors import ServiceClosed
+
+        service = AnnotationService.load(bundle_dir)
+        outcomes: list = []
+        lock = threading.Lock()
+
+        def annotate():
+            try:
+                predictions = service.annotate_batch(serve_tables[:2])
+                with lock:
+                    outcomes.append(("ok", len(predictions)))
+            except ServiceClosed:
+                with lock:
+                    outcomes.append(("closed", None))
+            except BaseException as error:  # noqa: BLE001 - the regression
+                with lock:
+                    outcomes.append(("crash", repr(error)))
+
+        threads = [threading.Thread(target=annotate) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        service.close()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(outcomes) == 6
+        # Every caller either got answers or the typed refusal — a pool
+        # never died underneath an admitted request.
+        assert all(kind in ("ok", "closed") for kind, _ in outcomes), outcomes
