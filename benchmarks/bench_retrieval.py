@@ -101,7 +101,7 @@ def measure_float32(index: BM25Index, documents: list[tuple[str, str]],
     f32_hits = f32.search_batch(queries, top_k=top_k)
     f32_seconds = time.perf_counter() - start
     overlaps = []
-    for fast, exact in zip(f32_hits, f64_hits):
+    for fast, exact in zip(f32_hits, f64_hits, strict=True):
         want = {hit.doc_id for hit in exact}
         got = {hit.doc_id for hit in fast}
         overlaps.append(len(want & got) / len(want) if want else 1.0)
@@ -298,7 +298,7 @@ def run(n_docs: int, vocab_size: int, n_queries: int, n_scalar_queries: int,
     scalar_seconds = time.perf_counter() - start
 
     # Sanity: both paths agree on the sampled prefix.
-    for vec, ref in zip(vector_hits, scalar_hits):
+    for vec, ref in zip(vector_hits, scalar_hits, strict=True):
         assert [h.doc_id for h in vec] == [h.doc_id for h in ref], "parity violation"
 
     vector_per_query = vector_seconds / len(queries)

@@ -62,7 +62,7 @@ def main() -> None:
         table = table_from_csv(path)
         predictions = service.annotate(table)
         print(f"\n   {path.name}")
-        for column, predicted in zip(table.columns, predictions):
+        for column, predicted in zip(table.columns, predictions, strict=True):
             preview = ", ".join(cell for cell in column.cells[:3] if cell)
             truth = column.label or "(unlabelled)"
             print(f"     [{predicted:>18s}] truth={truth:<18s} cells: {preview} ...")

@@ -74,7 +74,7 @@ def main() -> None:
 
     print("\n=== step 3: candidate types and feature sequences ===")
     processed = extractor.process_table(table)
-    for column, info in zip(table.columns, processed.columns):
+    for column, info in zip(table.columns, processed.columns, strict=True):
         print(f"  column {column.name!r} (ground truth: {column.label})")
         print(f"    candidate types : {info.candidate_types}")
         print(f"    feature sequence: {info.feature_sequence[:100]}...")

@@ -48,7 +48,7 @@ def main() -> None:
     print("5) annotating one held-out table ...")
     table = splits.test.tables[0]
     predictions = annotator.annotate(table)
-    for column, predicted in zip(table.columns, predictions):
+    for column, predicted in zip(table.columns, predictions, strict=True):
         preview = ", ".join(column.cells[:3])
         print(f"   [{predicted:>20s}]  truth={column.label:<20s}  cells: {preview} ...")
 

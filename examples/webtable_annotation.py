@@ -62,7 +62,7 @@ def main() -> None:
                     continue
                 kinds.append("numeric" if column.is_numeric() else "non-numeric")
         grouped = defaultdict(lambda: ([], []))
-        for kind, truth, pred in zip(kinds, y_true, y_pred):
+        for kind, truth, pred in zip(kinds, y_true, y_pred, strict=True):
             grouped[kind][0].append(truth)
             grouped[kind][1].append(pred)
         parts = []
@@ -74,7 +74,7 @@ def main() -> None:
 
     print("\nannotating one noisy table with KGLink:")
     table = splits.test.tables[0]
-    for column, predicted in zip(table.columns, kglink.annotate(table)):
+    for column, predicted in zip(table.columns, kglink.annotate(table), strict=True):
         preview = ", ".join(cell for cell in column.cells[:3])
         print(f"  [{predicted:>12s}] truth={column.label:<12s} cells: {preview} ...")
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Gate the repo on the project static analyzer (``repro.analysis``).
+
+Thin wrapper over ``python -m repro.analysis`` that pins the tree the CI
+``analyze`` job checks (``src tests benchmarks scripts examples``) and makes
+``src/`` importable without requiring an editable install, so the gate runs
+identically in CI, in a fresh checkout and from a git hook::
+
+    python scripts/check_static_analysis.py            # the CI invocation
+    python scripts/check_static_analysis.py --show-waived
+    python scripts/check_static_analysis.py src        # narrower sweep
+
+Exit status is the analyzer's own: 0 when every finding is waived (waivers
+need a reason — see ``# repro: allow[CODE] -- reason`` in repro/analysis),
+1 on any unwaived finding, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_PATHS = ["src", "tests", "benchmarks", "scripts", "examples"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.analysis.__main__ import main as analysis_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not any(not arg.startswith("-") for arg in argv):
+        argv += [str(REPO_ROOT / path) for path in DEFAULT_PATHS]
+    return analysis_main(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

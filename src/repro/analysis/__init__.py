@@ -1,0 +1,54 @@
+"""Project-specific static analysis: machine-checked concurrency invariants.
+
+The serving stack's correctness rests on conventions — guarded telemetry
+counters, monotonic deadline math, the typed error taxonomy, seeded
+randomness, a non-blocking event loop — that PRs 5–7 enforced only by code
+review and by tests that happen to race the right way.  This package turns
+those conventions into an AST-based lint suite gated in CI::
+
+    python -m repro.analysis src tests benchmarks scripts
+
+See :mod:`repro.analysis.rules` for the shipped rules (codes ``REP101`` –
+``REP105``) and :mod:`repro.analysis.waivers` for the inline waiver syntax
+(``# repro: allow[REP104] -- reason``, reason mandatory).
+"""
+
+from repro.analysis.core import (
+    ANALYZER_CODE,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    register_rule,
+    rule_codes,
+)
+from repro.analysis.rules import (
+    LockDisciplineRule,
+    MonotonicDeadlinesRule,
+    NoBlockingInAsyncRule,
+    SeededRngRule,
+    TypedErrorsRule,
+)
+from repro.analysis.runner import analyze_file, analyze_paths, iter_python_files
+from repro.analysis.waivers import Waiver, WaiverSet, parse_waivers
+
+__all__ = [
+    "ANALYZER_CODE",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "register_rule",
+    "rule_codes",
+    "all_rules",
+    "LockDisciplineRule",
+    "NoBlockingInAsyncRule",
+    "MonotonicDeadlinesRule",
+    "TypedErrorsRule",
+    "SeededRngRule",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "Waiver",
+    "WaiverSet",
+    "parse_waivers",
+]

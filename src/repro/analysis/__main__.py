@@ -1,0 +1,100 @@
+"""CLI: ``python -m repro.analysis [paths ...]``.
+
+Runs every registered rule over the given files/directories (default:
+``src``) and prints the findings.  Exit status:
+
+* ``0`` — no unwaived findings (waived findings may exist; they are listed
+  in the summary so tolerated debt stays visible);
+* ``1`` — at least one unwaived finding (this is what CI gates on);
+* ``2`` — usage error (unknown rule in ``--select``, no files found).
+
+``--format json`` emits one machine-readable object (findings + summary),
+for tooling and for diffing analyzer output across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.core import all_rules
+from repro.analysis.runner import analyze_paths, iter_python_files
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis (concurrency and "
+                    "reproducibility invariants).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes/names to run "
+                             "(default: all)")
+    parser.add_argument("--show-waived", action="store_true",
+                        help="list waived findings individually (text format)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            scope = ", ".join(rule.modules) if rule.modules else "all files"
+            print(f"{rule.code}  {rule.name}  [{scope}]")
+            print(f"        {rule.description}")
+        return 0
+    if args.select:
+        wanted = {token.strip() for token in args.select.split(",") if token.strip()}
+        known = {rule.code for rule in rules} | {rule.name for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(f"error: unknown rule(s) in --select: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules
+                 if rule.code in wanted or rule.name in wanted]
+    files = list(iter_python_files(args.paths))
+    if not files:
+        print(f"error: no Python files under: {', '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+    findings = analyze_paths(args.paths, rules)
+    unwaived = [finding for finding in findings if not finding.waived]
+    waived = [finding for finding in findings if finding.waived]
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": {
+                "files": len(files),
+                "rules": [rule.code for rule in rules],
+                "total": len(findings),
+                "unwaived": len(unwaived),
+                "waived": len(waived),
+            },
+        }, indent=2))
+        return 1 if unwaived else 0
+
+    for finding in unwaived:
+        print(finding.format())
+    if args.show_waived:
+        for finding in waived:
+            print(f"{finding.format()} -- {finding.waiver_reason}")
+    print(f"{len(files)} file(s) analyzed: {len(unwaived)} finding(s), "
+          f"{len(waived)} waived")
+    return 1 if unwaived else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Drive the rules over real files: walk, parse, check, waive.
+
+:func:`analyze_paths` is the programmatic entry point the CLI, the CI gate
+and the tests all share: give it files and/or directories, get back every
+:class:`~repro.analysis.core.Finding` — waived ones included, flagged as
+such, so reports can show what is being tolerated and why.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.analysis.core import (
+    ANALYZER_CODE,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+)
+from repro.analysis.waivers import parse_waivers
+
+__all__ = ["analyze_paths", "analyze_file", "iter_python_files"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".ruff_cache",
+              ".pytest_cache", "node_modules"}
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, depth-first, deterministic order."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(
+                candidate for candidate in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(candidate.parts))
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def analyze_file(path: Path, rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """All findings for one file (waived findings included, marked)."""
+    rules = list(all_rules()) if rules is None else list(rules)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        return [Finding(code=ANALYZER_CODE, name="analysis", path=str(path),
+                        line=1, col=0, message=f"cannot read file: {error}")]
+    try:
+        context = ModuleContext.parse(path, source)
+    except SyntaxError as error:
+        return [Finding(code=ANALYZER_CODE, name="analysis", path=str(path),
+                        line=error.lineno or 1, col=error.offset or 0,
+                        message=f"syntax error: {error.msg}")]
+    waivers = parse_waivers(str(path), context.comments)
+    findings: list[Finding] = list(waivers.problems)
+    for rule in rules:
+        if not rule.applies_to(context):
+            continue
+        for finding in rule.check(context):
+            waiver = waivers.lookup(finding.code, finding.line)
+            if waiver is not None:
+                finding = Finding(
+                    code=finding.code, name=finding.name, path=finding.path,
+                    line=finding.line, col=finding.col, message=finding.message,
+                    waived=True, waiver_reason=waiver.reason,
+                )
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def analyze_paths(paths: Sequence[str | Path],
+                  rules: Sequence[Rule] | None = None) -> list[Finding]:
+    """All findings across every Python file under ``paths``."""
+    rules = list(all_rules()) if rules is None else list(rules)
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(analyze_file(path, rules))
+    return findings

@@ -1,0 +1,133 @@
+"""Inline waivers: ``# repro: allow[CODE] -- reason``.
+
+A waiver acknowledges one specific finding without silencing the rule
+everywhere — the analog of ``# noqa`` with two deliberate differences:
+
+* a **reason is mandatory**.  A waiver without the ``-- reason`` tail is
+  itself a finding (:data:`~repro.analysis.core.ANALYZER_CODE`), because an
+  unexplained suppression is exactly the convention-rot this analyzer exists
+  to prevent;
+* the bracketed token must be a **known rule** (its ``REP1xx`` code or its
+  kebab-case name; several may be comma-separated).  Unknown tokens are
+  findings too, so a typo cannot silently waive nothing.
+
+Placement: on the violating line itself (trailing comment), or anywhere in
+the contiguous comment block immediately above it (so a waiver and its
+reason can span lines under the 100-column style).  Analyzer findings
+(``REP000``) are never waivable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.core import ANALYZER_CODE, Finding, rule_codes
+
+__all__ = ["Waiver", "WaiverSet", "parse_waivers"]
+
+_WAIVER_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<tokens>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One parsed waiver comment: the codes it covers and why."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str
+
+
+@dataclass
+class WaiverSet:
+    """Every well-formed waiver in a file, plus findings for malformed ones."""
+
+    path: str
+    by_line: dict[int, Waiver] = field(default_factory=dict)
+    problems: list[Finding] = field(default_factory=list)
+    comment_lines: frozenset[int] = frozenset()
+    used: set[int] = field(default_factory=set)
+
+    def lookup(self, code: str, line: int) -> Waiver | None:
+        """The waiver covering ``code`` at ``line``, if any.
+
+        Checks the line itself, then walks up through the contiguous
+        comment block directly above it (an own-line waiver annotates the
+        statement that follows its comment block).
+        """
+        if code == ANALYZER_CODE:
+            return None
+        candidate = line
+        while True:
+            waiver = self.by_line.get(candidate)
+            if waiver is not None and code in waiver.codes:
+                self.used.add(candidate)
+                return waiver
+            candidate -= 1
+            if candidate not in self.comment_lines:
+                return None
+
+
+def parse_waivers(path: str, comments: dict[int, str]) -> WaiverSet:
+    """Collect the waivers of one file, validating tokens and reasons.
+
+    ``comments`` is line → real comment token text (see
+    :func:`repro.analysis.core.extract_comments`), so waiver syntax quoted
+    inside docstrings or string literals is never mistaken for a waiver.
+    """
+    tokens_to_code = rule_codes()
+    waivers = WaiverSet(path=path, comment_lines=frozenset(comments))
+    for index in sorted(comments):
+        text = comments[index]
+        if "repro:" not in text:
+            continue
+        match = _WAIVER_RE.search(text)
+        if match is None:
+            # A comment that mentions "repro: allow" but failed to parse is a
+            # malformed waiver, not a miss — refuse it loudly.
+            if re.search(r"#\s*repro:\s*allow", text):
+                waivers.problems.append(_problem(
+                    path, index, "malformed waiver: expected "
+                    "'# repro: allow[CODE] -- reason'",
+                ))
+            continue
+        reason = match.group("reason")
+        if not reason:
+            waivers.problems.append(_problem(
+                path, index,
+                "waiver is missing its reason ('-- why this is acceptable')",
+            ))
+            continue
+        codes: set[str] = set()
+        bad_tokens: list[str] = []
+        for token in (t.strip() for t in match.group("tokens").split(",")):
+            if not token:
+                continue
+            code = tokens_to_code.get(token)
+            if code is None or code == ANALYZER_CODE:
+                bad_tokens.append(token)
+            else:
+                codes.add(code)
+        if bad_tokens:
+            waivers.problems.append(_problem(
+                path, index,
+                f"waiver names unknown rule(s): {', '.join(sorted(bad_tokens))}",
+            ))
+            continue
+        if not codes:
+            waivers.problems.append(_problem(
+                path, index, "waiver names no rules: allow[] is empty",
+            ))
+            continue
+        waivers.by_line[index] = Waiver(
+            line=index, codes=frozenset(codes), reason=reason.strip()
+        )
+    return waivers
+
+
+def _problem(path: str, line: int, message: str) -> Finding:
+    return Finding(code=ANALYZER_CODE, name="waiver", path=path, line=line,
+                   col=0, message=message)

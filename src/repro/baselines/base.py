@@ -267,8 +267,8 @@ class PLMBaselineAnnotator(BaseAnnotator):
         predictions = self.trainer.predict(examples)
         y_true: list[str] = []
         y_pred: list[str] = []
-        for example, predicted in zip(examples, predictions):
-            for truth, pred in zip(example.true_labels, predicted):
+        for example, predicted in zip(examples, predictions, strict=True):
+            for truth, pred in zip(example.true_labels, predicted, strict=True):
                 if truth is None:
                     continue
                 y_true.append(truth)

@@ -126,7 +126,7 @@ class SherlockAnnotator(BaseAnnotator):
         predictions = np.argmax(logits.data, axis=-1)
         y_true: list[str] = []
         y_pred: list[str] = []
-        for label, prediction in zip(labels, predictions):
+        for label, prediction in zip(labels, predictions, strict=True):
             if label is None:
                 continue
             y_true.append(label)

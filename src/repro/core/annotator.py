@@ -136,7 +136,7 @@ class KGLinkConfig:
             seed=self.seed,
         )
 
-    def without_kg(self) -> "KGLinkConfig":
+    def without_kg(self) -> KGLinkConfig:
         """The ``KGLink w/o ct`` ablation: no KG information at all."""
         return replace(self, use_candidate_types=False, use_feature_vector=False)
 
@@ -281,8 +281,8 @@ class KGLinkAnnotator:
         predictions = trainer.predict(examples)
         y_true: list[str] = []
         y_pred: list[str] = []
-        for example, predicted in zip(examples, predictions):
-            for truth, pred in zip(example.true_labels, predicted):
+        for example, predicted in zip(examples, predictions, strict=True):
+            for truth, pred in zip(example.true_labels, predicted, strict=True):
                 if truth is None:
                     continue
                 y_true.append(truth)
@@ -312,7 +312,7 @@ class KGLinkAnnotator:
         """
         self.linker.close()
 
-    def __enter__(self) -> "KGLinkAnnotator":
+    def __enter__(self) -> KGLinkAnnotator:
         return self
 
     def __exit__(self, *exc_info) -> None:

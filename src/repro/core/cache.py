@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Generic, Hashable, NamedTuple, TypeVar
+from collections.abc import Hashable
+from typing import Generic, NamedTuple, TypeVar
 
 __all__ = ["CacheInfo", "LRUCache"]
 
@@ -47,11 +48,11 @@ class LRUCache(Generic[K, V]):
 
     def __init__(self, maxsize: int = 1024):
         self.maxsize = int(maxsize)
-        self._data: OrderedDict[K, V] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._data: OrderedDict[K, V] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0  # guarded-by: _lock
+        self.misses = 0  # guarded-by: _lock
+        self.evictions = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
     def get(self, key: K, default: V | None = None) -> V | None:
@@ -80,11 +81,15 @@ class LRUCache(Generic[K, V]):
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: K) -> bool:
-        # Membership is a pure probe: no recency refresh, no stat updates.
-        return key in self._data
+        # Membership is a pure probe: no recency refresh, no stat updates —
+        # but it still takes the lock, so a probe never observes the
+        # OrderedDict mid-relink while another thread evicts.
+        with self._lock:
+            return key in self._data
 
     def clear(self) -> None:
         """Drop all entries; the counters keep accumulating."""

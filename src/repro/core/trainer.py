@@ -456,7 +456,7 @@ class KGLinkTrainer:
                 _, logits = self._classification_forward(batch, flat)
                 indices = self.model.predict_labels(logits)
                 cursor = 0
-                for example_index, example in zip(chunk, batch):
+                for example_index, example in zip(chunk, batch, strict=True):
                     n_cols = example.masked.n_columns
                     predicted = [
                         self.label_vocabulary[int(index)]
@@ -471,8 +471,8 @@ class KGLinkTrainer:
         predictions = self.predict(examples)
         y_true: list[str] = []
         y_pred: list[str] = []
-        for example, predicted in zip(examples, predictions):
-            for truth, pred in zip(example.true_labels, predicted):
+        for example, predicted in zip(examples, predictions, strict=True):
+            for truth, pred in zip(example.true_labels, predicted, strict=True):
                 if truth is None or truth not in self._label_to_index:
                     continue
                 y_true.append(truth)

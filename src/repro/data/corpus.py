@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -81,7 +81,7 @@ class TableCorpus:
             "numeric_column_fraction": numeric / total_columns if total_columns else 0.0,
         }
 
-    def subset(self, table_ids: Iterable[str], name_suffix: str = "subset") -> "TableCorpus":
+    def subset(self, table_ids: Iterable[str], name_suffix: str = "subset") -> TableCorpus:
         """Corpus restricted to the given table ids (label vocabulary preserved)."""
         wanted = set(table_ids)
         return TableCorpus(
@@ -99,7 +99,7 @@ class CorpusSplits:
     validation: TableCorpus
     test: TableCorpus
 
-    def subsample_train(self, proportion: float, seed: int = 0) -> "CorpusSplits":
+    def subsample_train(self, proportion: float, seed: int = 0) -> CorpusSplits:
         """Keep only a fraction ``p`` of the training tables (Figure 9 experiment).
 
         The validation and test corpora are left untouched, exactly as the

@@ -19,7 +19,7 @@ column is labelled simply ``name``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

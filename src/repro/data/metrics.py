@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 __all__ = [
     "accuracy_score",
@@ -25,7 +25,7 @@ def accuracy_score(y_true: Sequence[str], y_pred: Sequence[str]) -> float:
         raise ValueError("y_true and y_pred must have the same length")
     if not y_true:
         return 0.0
-    correct = sum(1 for truth, pred in zip(y_true, y_pred) if truth == pred)
+    correct = sum(1 for truth, pred in zip(y_true, y_pred, strict=True) if truth == pred)
     return correct / len(y_true)
 
 
@@ -34,7 +34,7 @@ def _per_class_counts(y_true: Sequence[str], y_pred: Sequence[str]):
     false_positive: Counter = Counter()
     false_negative: Counter = Counter()
     support: Counter = Counter()
-    for truth, pred in zip(y_true, y_pred):
+    for truth, pred in zip(y_true, y_pred, strict=True):
         support[truth] += 1
         if truth == pred:
             true_positive[truth] += 1

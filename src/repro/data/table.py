@@ -10,7 +10,7 @@ oracle but which no model is allowed to read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro.text.ner import EntitySchema, detect_schema
 
@@ -65,7 +65,7 @@ class Column:
             profile[schema] = profile.get(schema, 0) + 1
         return profile
 
-    def truncated(self, max_rows: int) -> "Column":
+    def truncated(self, max_rows: int) -> Column:
         """Return a copy keeping only the first ``max_rows`` cells."""
         return replace(
             self,
@@ -118,7 +118,7 @@ class Table:
         return [column.name for column in self.columns]
 
     # ------------------------------------------------------------------ #
-    def with_rows(self, row_indices: Sequence[int]) -> "Table":
+    def with_rows(self, row_indices: Sequence[int]) -> Table:
         """Return a new table containing only the given rows (in order)."""
         new_columns = []
         for column in self.columns:
@@ -136,7 +136,7 @@ class Table:
             )
         return Table(table_id=self.table_id, columns=new_columns, source=self.source)
 
-    def truncated(self, max_rows: int) -> "Table":
+    def truncated(self, max_rows: int) -> Table:
         """Return a copy keeping only the first ``max_rows`` rows."""
         return Table(
             table_id=self.table_id,
@@ -144,7 +144,7 @@ class Table:
             source=self.source,
         )
 
-    def split_columns(self, max_columns: int) -> list["Table"]:
+    def split_columns(self, max_columns: int) -> list[Table]:
         """Split into several tables of at most ``max_columns`` columns.
 
         The paper imposes a maximum of 8 columns per table: "If a table

@@ -20,7 +20,7 @@ __all__ = ["run"]
 def _per_class_accuracy(y_true: list[str], y_pred: list[str]) -> dict[str, tuple[float, int]]:
     totals: dict[str, int] = defaultdict(int)
     correct: dict[str, int] = defaultdict(int)
-    for truth, pred in zip(y_true, y_pred):
+    for truth, pred in zip(y_true, y_pred, strict=True):
         totals[truth] += 1
         if truth == pred:
             correct[truth] += 1

@@ -5,7 +5,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["ExperimentResult", "format_table"]
 
@@ -27,10 +27,10 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | 
         max(len(str(column)), *(len(line[i]) for line in table))
         for i, column in enumerate(columns)
     ]
-    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths, strict=True))
     separator = "-+-".join("-" * width for width in widths)
     body = "\n".join(
-        " | ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in table
+        " | ".join(cell.ljust(width) for cell, width in zip(line, widths, strict=True)) for line in table
     )
     return f"{header}\n{separator}\n{body}"
 

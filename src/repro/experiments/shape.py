@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["PairwiseAgreement", "pairwise_order_agreement", "ordering_report"]
 

@@ -45,7 +45,7 @@ def column_kinds(resources: SharedResources, dataset: str = "viznet") -> list[st
     kinds: list[str] = []
     for table in resources.splits(dataset).test.tables:
         processed = extractor.process_table(table)
-        for column, info in zip(table.columns, processed.columns):
+        for column, info in zip(table.columns, processed.columns, strict=True):
             if column.label is None:
                 continue
             if info.is_numeric:
@@ -78,8 +78,8 @@ def run(resources: SharedResources | None = None,
                 f"prediction/column-kind misalignment for {model}: "
                 f"{len(y_true)} predictions vs {len(kinds)} columns"
             )
-        numeric = [(t, p) for kind, t, p in zip(kinds, y_true, y_pred) if kind == "numeric"]
-        no_kg = [(t, p) for kind, t, p in zip(kinds, y_true, y_pred)
+        numeric = [(t, p) for kind, t, p in zip(kinds, y_true, y_pred, strict=True) if kind == "numeric"]
+        no_kg = [(t, p) for kind, t, p in zip(kinds, y_true, y_pred, strict=True)
                  if kind == "no_kg_non_numeric"]
         rows.append({
             "model": model,

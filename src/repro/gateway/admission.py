@@ -30,7 +30,7 @@ import itertools
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.errors import DeadlineExceeded, GatewayOverloaded
 from repro.data.table import Table
@@ -57,17 +57,17 @@ class Deadline:
         self._clock = clock
 
     @classmethod
-    def never(cls, clock: Callable[[], float] = time.monotonic) -> "Deadline":
+    def never(cls, clock: Callable[[], float] = time.monotonic) -> Deadline:
         return cls(None, clock)
 
     @classmethod
     def after(cls, budget_s: float,
-              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+              clock: Callable[[], float] = time.monotonic) -> Deadline:
         return cls(clock() + budget_s, clock)
 
     @classmethod
     def from_header(cls, value: str | None, default_ms: float | None = None,
-                    clock: Callable[[], float] = time.monotonic) -> "Deadline":
+                    clock: Callable[[], float] = time.monotonic) -> Deadline:
         """Parse an ``X-Deadline-Ms`` header value (``None`` → the default).
 
         Raises ``ValueError`` for junk — the gateway maps that to a 400, the

@@ -37,7 +37,8 @@ import asyncio
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import Callable
+from typing import Any
 
 from repro.core.errors import (
     BreakerOpen,
@@ -254,7 +255,7 @@ class Gateway:
         if self._state == "serving":
             asyncio.ensure_future(self.shutdown(close_service=True))
 
-    async def __aenter__(self) -> "Gateway":
+    async def __aenter__(self) -> Gateway:
         await self.start()
         return self
 
@@ -368,7 +369,9 @@ class Gateway:
             return self._error_response(DeadlineExceeded(
                 "deadline expired before the micro-batch completed"
             ))
-        except BaseException as error:  # noqa: BLE001 - typed fan-out
+        # repro: allow[REP104] -- mapped to a typed HTTP error response via
+        # _error_response; the taxonomy decides the status code
+        except BaseException as error:
             self._counters.errors += 1
             return self._error_response(error)
         self._counters.completed += 1
@@ -380,7 +383,7 @@ class Gateway:
         return HttpResponse.from_json({
             "results": [
                 {"table_id": table.table_id, "predictions": columns}
-                for table, columns in zip(tables, predictions)
+                for table, columns in zip(tables, predictions, strict=True)
             ],
         })
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 import math
 import time
-from typing import Callable
+from collections.abc import Callable
 
 from repro.data.table import Table
 
@@ -124,7 +124,9 @@ class MicroBatcher:
                 self.batches += 1
                 self.batched_tables += len(tables)
                 self.max_coalesced = max(self.max_coalesced, len(tables))
-            except BaseException as error:  # noqa: BLE001 - fanned out, typed
+            # repro: allow[REP104] -- the error is fanned out to every
+            # member's future via pending.fail, which re-raises at await sites
+            except BaseException as error:
                 self.batch_errors += 1
                 for pending in batch:
                     pending.fail(error)

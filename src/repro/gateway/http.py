@@ -27,7 +27,8 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 from urllib.parse import parse_qsl, urlsplit
 
 __all__ = [
@@ -100,7 +101,7 @@ class HttpResponse:
 
     @classmethod
     def from_json(cls, payload: Any, status: int = 200,
-                  headers: Mapping[str, str] | None = None) -> "HttpResponse":
+                  headers: Mapping[str, str] | None = None) -> HttpResponse:
         return cls(
             status=status,
             body=json.dumps(payload).encode("utf-8"),
@@ -110,7 +111,7 @@ class HttpResponse:
 
     @classmethod
     def from_text(cls, text: str, status: int = 200,
-                  content_type: str = "text/plain; charset=utf-8") -> "HttpResponse":
+                  content_type: str = "text/plain; charset=utf-8") -> HttpResponse:
         return cls(status=status, body=text.encode("utf-8"),
                    content_type=content_type)
 
@@ -217,7 +218,7 @@ class HttpConnection:
         self._writer = writer
 
     @classmethod
-    async def open(cls, host: str, port: int) -> "HttpConnection":
+    async def open(cls, host: str, port: int) -> HttpConnection:
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer)
 
@@ -265,7 +266,7 @@ class HttpConnection:
         except (ConnectionError, OSError):  # peer already gone
             pass
 
-    async def __aenter__(self) -> "HttpConnection":
+    async def __aenter__(self) -> HttpConnection:
         return self
 
     async def __aexit__(self, *exc_info) -> None:

@@ -50,7 +50,8 @@ import math
 import zlib
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from typing import ClassVar, Iterable, Protocol, Sequence, runtime_checkable
+from collections.abc import Iterable, Sequence
+from typing import ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -126,7 +127,7 @@ class RetrievalBackend(Protocol):
     def export_state(self) -> dict[str, np.ndarray]: ...
 
     @classmethod
-    def from_state(cls, state: dict[str, np.ndarray]) -> "RetrievalBackend": ...
+    def from_state(cls, state: dict[str, np.ndarray]) -> RetrievalBackend: ...
 
     @classmethod
     def shard_state(cls, state: dict[str, np.ndarray], num_shards: int
@@ -331,7 +332,7 @@ class BM25Index:
     @classmethod
     def build(cls, documents: Iterable[tuple[str, str]],
               parameters: BM25Parameters | None = None,
-              dtype: str | np.dtype = np.float32) -> "BM25Index":
+              dtype: str | np.dtype = np.float32) -> BM25Index:
         """Build an index from ``(doc_id, text)`` pairs."""
         index = cls(parameters, dtype=dtype)
         for doc_id, text in documents:
@@ -455,7 +456,7 @@ class BM25Index:
         }
 
     @classmethod
-    def from_state(cls, state: dict[str, np.ndarray]) -> "BM25Index":
+    def from_state(cls, state: dict[str, np.ndarray]) -> BM25Index:
         """Rebuild a query-only index from :meth:`export_state` output."""
         impacts = np.asarray(state["posting_impacts"])
         index = cls(
@@ -674,7 +675,7 @@ class CharNGramIndex:
         self._compiled = False
 
     @classmethod
-    def build(cls, documents: Iterable[tuple[str, str]], **kwargs) -> "CharNGramIndex":
+    def build(cls, documents: Iterable[tuple[str, str]], **kwargs) -> CharNGramIndex:
         """Build an index from ``(doc_id, text)`` pairs."""
         index = cls(**kwargs)
         for doc_id, text in documents:
@@ -722,7 +723,7 @@ class CharNGramIndex:
         }
 
     @classmethod
-    def from_state(cls, state: dict[str, np.ndarray]) -> "CharNGramIndex":
+    def from_state(cls, state: dict[str, np.ndarray]) -> CharNGramIndex:
         """Rebuild a query-only index from :meth:`export_state` output."""
         matrix = np.asarray(state["matrix"])
         index = cls(n=int(state["n"]), dim=int(state["dim"]), dtype=matrix.dtype)
@@ -890,7 +891,7 @@ class ShardedBackend:
 
     backend_name: ClassVar[str] = "sharded"
 
-    def __init__(self, backend: "RetrievalBackend", num_shards: int = 2,
+    def __init__(self, backend: RetrievalBackend, num_shards: int = 2,
                  executor=None, policy="default"):
         if isinstance(backend, ShardedBackend):
             raise TypeError("refusing to shard an already-sharded backend")
@@ -962,7 +963,7 @@ class ShardedBackend:
         return self._state
 
     @classmethod
-    def from_state(cls, state: dict[str, np.ndarray]) -> "ShardedBackend":
+    def from_state(cls, state: dict[str, np.ndarray]) -> ShardedBackend:
         raise NotImplementedError(
             "restore the inner backend with restore_backend(name, state) and "
             "wrap it: ShardedBackend(inner, num_shards, executor)"
@@ -1004,10 +1005,12 @@ class ShardedBackend:
         """Dispatch shards through the resilient executor, degrading per shard."""
         futures = [self._dispatch.submit(_search_shard_task, task) for task in tasks]
         per_shard = []
-        for task, future in zip(tasks, futures):
+        for task, future in zip(tasks, futures, strict=True):
             try:
                 per_shard.append(future.result())
-            except Exception as error:  # noqa: BLE001 - degrade, then classify
+            # repro: allow[REP104] -- degraded path: _search_shard_locally
+            # retries serially and raises ShardUnavailable on double failure
+            except Exception as error:
                 per_shard.append(
                     self._search_shard_locally(task[0], queries, top_k, error)
                 )

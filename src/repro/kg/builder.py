@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -214,7 +214,7 @@ class KGWorldConfig:
     num_leagues: int = 20
     seed: int = 7
 
-    def scaled(self, factor: float) -> "KGWorldConfig":
+    def scaled(self, factor: float) -> KGWorldConfig:
         """Return a copy with every count multiplied by ``factor`` (min 5)."""
         values = {}
         for name, value in vars(self).items():
@@ -464,7 +464,7 @@ class SyntheticKGBuilder:
             self.graph.add_triple(eid, Predicates.COUNTRY, self._countries[country_name])
             self._set_literal(eid, "length_km", str(int(self.rng.integers(50, 6500))))
 
-        for index in range(self.config.num_mountains):
+        for _index in range(self.config.num_mountains):
             name = f"Mount {self._choice(SURNAMES)}"
             eid = self._add_instance(name, "Mountain", description="a mountain",
                                      register=True)
@@ -492,7 +492,7 @@ class SyntheticKGBuilder:
                 self._positions[sport].append(eid)
 
         self._leagues: dict[str, list[str]] = {name: [] for name in SPORT_NAMES}
-        for index in range(self.config.num_leagues):
+        for _index in range(self.config.num_leagues):
             sport = self._choice(SPORT_NAMES)
             name = f"{self._choice(ADJECTIVES)} {sport} League"
             eid = self._add_instance(name, "Sports league", description="a sports league")
@@ -501,7 +501,7 @@ class SyntheticKGBuilder:
             self._leagues[sport].append(eid)
 
         self._stadiums: list[str] = []
-        for index in range(self.config.num_stadiums):
+        for _index in range(self.config.num_stadiums):
             city_id = self._choice(self._cities)
             city_label = self.graph.entity(city_id).label
             name = f"{city_label} {self._choice(['Arena', 'Stadium', 'Park', 'Oval'])}"
@@ -518,7 +518,7 @@ class SyntheticKGBuilder:
         }
         self._teams_by_sport: dict[str, list[str]] = {name: [] for name in SPORT_NAMES}
         used_team_names: set[str] = set()
-        for index in range(self.config.num_teams):
+        for _index in range(self.config.num_teams):
             sport = self._choice(SPORT_NAMES)
             city_id = self._choice(self._cities)
             city_label = self.graph.entity(city_id).label
@@ -572,7 +572,7 @@ class SyntheticKGBuilder:
             self._record_labels.append(eid)
 
         self._awards: list[str] = []
-        for index in range(self.config.num_awards):
+        for _index in range(self.config.num_awards):
             name = f"{self._choice(ADJECTIVES)} {self._choice(['Award', 'Prize', 'Medal'])}"
             eid = self._add_instance(name, "Award", description="an award")
             self.graph.add_triple(eid, Predicates.INSTANCE_OF, self._type_id("Award"))
@@ -588,7 +588,7 @@ class SyntheticKGBuilder:
             self._industries[name] = eid
 
         self._companies: list[str] = []
-        for index in range(self.config.num_companies):
+        for _index in range(self.config.num_companies):
             industry = self._choice(INDUSTRY_NAMES)
             name = f"{self._choice(SURNAMES)} {industry} {self._choice(['Inc', 'Group', 'Corporation', 'Ltd'])}"
             type_label = "Airline" if industry == "Aerospace" and self.rng.random() < 0.3 else "Company"
@@ -604,7 +604,7 @@ class SyntheticKGBuilder:
             self._companies.append(eid)
 
         self._universities: list[str] = []
-        for index in range(self.config.num_universities):
+        for _index in range(self.config.num_universities):
             city_id = self._choice(self._cities)
             city_label = self.graph.entity(city_id).label
             name = f"University of {city_label}"
@@ -628,7 +628,7 @@ class SyntheticKGBuilder:
         self._people: list[str] = []
         self._people_by_occupation: dict[str, list[str]] = {}
         used_names: set[str] = set()
-        for index in range(self.config.num_people):
+        for _index in range(self.config.num_people):
             given = self._choice(GIVEN_NAMES)
             surname = self._choice(SURNAMES)
             name = f"{given} {surname}"
@@ -708,7 +708,7 @@ class SyntheticKGBuilder:
             used_titles.add(title)
             return title
 
-        for index in range(self.config.num_films):
+        for _index in range(self.config.num_films):
             title = fresh_title("The {adj} {noun}")
             eid = self._add_instance(title, "Film", description="a feature film")
             self.graph.add_triple(eid, Predicates.INSTANCE_OF, self._type_id("Film"))
@@ -720,7 +720,7 @@ class SyntheticKGBuilder:
             self._set_literal(eid, "publication_year", str(self._random_year(1930, 2020)))
             self._set_literal(eid, "duration_min", str(int(self.rng.integers(70, 200))))
 
-        for index in range(self.config.num_albums):
+        for _index in range(self.config.num_albums):
             title = fresh_title("{adj} {noun}")
             eid = self._add_instance(title, "Album", description="a studio album")
             self.graph.add_triple(eid, Predicates.INSTANCE_OF, self._type_id("Album"))
@@ -732,7 +732,7 @@ class SyntheticKGBuilder:
             self._set_literal(eid, "publication_year", str(self._random_year(1955, 2020)))
             self._set_literal(eid, "tracks", str(int(self.rng.integers(6, 20))))
 
-        for index in range(self.config.num_songs):
+        for _index in range(self.config.num_songs):
             title = fresh_title("{noun} of the {adj}")
             eid = self._add_instance(title, "Song", description="a song")
             self.graph.add_triple(eid, Predicates.INSTANCE_OF, self._type_id("Song"))
@@ -741,7 +741,7 @@ class SyntheticKGBuilder:
             self.graph.add_triple(eid, Predicates.GENRE, self._music_genres[genre])
             self._set_literal(eid, "duration_s", str(int(self.rng.integers(120, 420))))
 
-        for index in range(self.config.num_books):
+        for _index in range(self.config.num_books):
             title = fresh_title("A {adj} {noun}")
             eid = self._add_instance(title, "Book", description="a book")
             self.graph.add_triple(eid, Predicates.INSTANCE_OF, self._type_id("Book"))
@@ -769,7 +769,7 @@ class SyntheticKGBuilder:
 
         genes: list[str] = []
         used_codes: set[str] = set()
-        for index in range(self.config.num_genes):
+        for _index in range(self.config.num_genes):
             for _ in range(30):
                 code = f"{self._choice(AMINO_PREFIXES)}{int(self.rng.integers(1, 99))}"
                 if code not in used_codes:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.kg.backends import (
     BM25Parameters,
@@ -205,7 +205,7 @@ class EntityLinker:
         if self._owns_sharded_index and isinstance(self.index, ShardedBackend):
             self.index.close()
 
-    def __enter__(self) -> "EntityLinker":
+    def __enter__(self) -> EntityLinker:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -17,7 +17,7 @@ documents is compiled and bundled separately).
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.kg.graph import Entity, KnowledgeGraph
 from repro.text.ner import EntitySchema
@@ -37,7 +37,7 @@ class KGSnapshot:
     # construction
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_graph(cls, graph: "KnowledgeGraph | KGSnapshot") -> "KGSnapshot":
+    def from_graph(cls, graph: KnowledgeGraph | KGSnapshot) -> KGSnapshot:
         """Capture the Part-1 surface of ``graph`` (idempotent on snapshots)."""
         if isinstance(graph, cls):
             return graph
@@ -101,7 +101,7 @@ class KGSnapshot:
         }
 
     @classmethod
-    def from_payload(cls, payload: dict) -> "KGSnapshot":
+    def from_payload(cls, payload: dict) -> KGSnapshot:
         """Inverse of :meth:`to_payload`."""
         entities = {
             entity_id: Entity(

@@ -336,7 +336,7 @@ def scaled_dot_product_attention(
     k: Tensor,
     v: Tensor,
     attention_mask: np.ndarray | None = None,
-    attention_bias: "Tensor | np.ndarray | None" = None,
+    attention_bias: Tensor | np.ndarray | None = None,
     dropout_p: float = 0.0,
     training: bool = False,
     rng: np.random.Generator | None = None,

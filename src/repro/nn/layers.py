@@ -8,7 +8,7 @@ model code in :mod:`repro.plm` and :mod:`repro.core` reads naturally:
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class Module:
         self.training = True
 
     # -- attribute discovery ------------------------------------------- #
-    def _children(self) -> Iterator[tuple[str, "Module"]]:
+    def _children(self) -> Iterator[tuple[str, Module]]:
         for key, value in vars(self).items():
             if isinstance(value, Module):
                 yield key, value
@@ -86,14 +86,14 @@ class Module:
         return int(sum(p.data.size for p in self.parameters()))
 
     # -- training mode -------------------------------------------------- #
-    def train(self, mode: bool = True) -> "Module":
+    def train(self, mode: bool = True) -> Module:
         """Set training mode recursively (affects dropout)."""
         self.training = mode
         for _, child in self._children():
             child.train(mode)
         return self
 
-    def eval(self) -> "Module":
+    def eval(self) -> Module:
         """Switch to evaluation mode (dropout disabled)."""
         return self.train(False)
 
@@ -104,7 +104,7 @@ class Module:
             param.zero_grad()
 
     # -- dtype ----------------------------------------------------------- #
-    def to(self, dtype) -> "Module":
+    def to(self, dtype) -> Module:
         """Cast every parameter to ``dtype`` in place (grads are dropped).
 
         The escape hatch out of the global dtype policy for a single model:
@@ -219,7 +219,7 @@ class Linear(Module):
         self.out_features = out_features
 
     @classmethod
-    def _from_weights(cls, weight: np.ndarray, bias: np.ndarray | None = None) -> "Linear":
+    def _from_weights(cls, weight: np.ndarray, bias: np.ndarray | None = None) -> Linear:
         """Wrap pre-computed arrays without drawing an initialisation."""
         layer = cls.__new__(cls)
         Module.__init__(layer)

@@ -16,7 +16,7 @@ policy-mandated dtype regardless of the dtype it was saved in.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -121,7 +121,7 @@ class SGD(Optimizer):
         return {"velocity": (self._velocity, None)}
 
     def step(self) -> None:
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity in zip(self.parameters, self._velocity, strict=True):
             if param.grad is None:
                 continue
             if self.momentum:
@@ -179,7 +179,7 @@ class AdamW(Optimizer):
         beta1, beta2 = self.betas
         bias1 = 1.0 - beta1**self._step
         bias2 = 1.0 - beta2**self._step
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v in zip(self.parameters, self._m, self._v, strict=True):
             if param.grad is None:
                 continue
             grad = param.grad

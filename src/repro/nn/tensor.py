@@ -19,7 +19,7 @@ support so the layers read naturally.
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -267,7 +267,7 @@ class Tensor:
         """Return the value of a single-element tensor as a Python float."""
         return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
 
-    def detach(self) -> "Tensor":
+    def detach(self) -> Tensor:
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor._result(self.data)
 
@@ -279,7 +279,7 @@ class Tensor:
     # graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _result(data: np.ndarray) -> "Tensor":
+    def _result(data: np.ndarray) -> Tensor:
         """Wrap an op result without dtype conversion.
 
         Outputs inherit their dtype from the numpy computation, so a float32
@@ -295,7 +295,7 @@ class Tensor:
         out.name = None
         return out
 
-    def _ensure(self, other) -> "Tensor":
+    def _ensure(self, other) -> Tensor:
         if isinstance(other, Tensor):
             return other
         # Scalar/array operands adopt this tensor's dtype (weak-scalar
@@ -305,9 +305,9 @@ class Tensor:
     def _make_child(
         self,
         data: np.ndarray,
-        parents: Sequence["Tensor"],
+        parents: Sequence[Tensor],
         backward: Callable[[np.ndarray], None],
-    ) -> "Tensor":
+    ) -> Tensor:
         child = Tensor._result(data)
         # Call sites guard this already (to skip closure creation entirely on
         # the inference fast path); the re-check keeps the old contract — an
@@ -329,7 +329,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # arithmetic
     # ------------------------------------------------------------------ #
-    def __add__(self, other) -> "Tensor":
+    def __add__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data + other.data
         if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
@@ -343,7 +343,7 @@ class Tensor:
 
     __radd__ = __add__
 
-    def __neg__(self) -> "Tensor":
+    def __neg__(self) -> Tensor:
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(-self.data)
 
@@ -352,13 +352,13 @@ class Tensor:
 
         return self._make_child(-self.data, (self,), backward)
 
-    def __sub__(self, other) -> "Tensor":
+    def __sub__(self, other) -> Tensor:
         return self + (-self._ensure(other))
 
-    def __rsub__(self, other) -> "Tensor":
+    def __rsub__(self, other) -> Tensor:
         return self._ensure(other) + (-self)
 
-    def __mul__(self, other) -> "Tensor":
+    def __mul__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data * other.data
         if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
@@ -372,7 +372,7 @@ class Tensor:
 
     __rmul__ = __mul__
 
-    def __truediv__(self, other) -> "Tensor":
+    def __truediv__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data / other.data
         if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
@@ -386,10 +386,10 @@ class Tensor:
 
         return self._make_child(out_data, (self, other), backward)
 
-    def __rtruediv__(self, other) -> "Tensor":
+    def __rtruediv__(self, other) -> Tensor:
         return self._ensure(other) / self
 
-    def __pow__(self, exponent: float) -> "Tensor":
+    def __pow__(self, exponent: float) -> Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
@@ -401,7 +401,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def __matmul__(self, other) -> "Tensor":
+    def __matmul__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data @ other.data
         if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
@@ -420,7 +420,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # reductions and shape manipulation
     # ------------------------------------------------------------------ #
-    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def sum(self, axis=None, keepdims: bool = False) -> Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -433,7 +433,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def mean(self, axis=None, keepdims: bool = False) -> Tensor:
         if axis is None:
             count = self.data.size
         elif isinstance(axis, tuple):
@@ -442,7 +442,7 @@ class Tensor:
             count = self.data.shape[axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
-    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+    def max(self, axis=None, keepdims: bool = False) -> Tensor:
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -459,7 +459,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def reshape(self, *shape) -> "Tensor":
+    def reshape(self, *shape) -> Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original_shape = self.data.shape
@@ -472,7 +472,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def transpose(self, *axes) -> "Tensor":
+    def transpose(self, *axes) -> Tensor:
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
@@ -487,12 +487,12 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+    def swapaxes(self, axis1: int, axis2: int) -> Tensor:
         axes = list(range(self.data.ndim))
         axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
         return self.transpose(tuple(axes))
 
-    def chunk(self, chunks: int, axis: int = -1) -> "list[Tensor]":
+    def chunk(self, chunks: int, axis: int = -1) -> list[Tensor]:
         """Split into ``chunks`` equal views along ``axis``.
 
         Cheaper than repeated ``__getitem__`` for the packed-QKV use case:
@@ -527,7 +527,7 @@ class Tensor:
             outputs.append(self._make_child(piece, (self,), backward))
         return outputs
 
-    def __getitem__(self, index) -> "Tensor":
+    def __getitem__(self, index) -> Tensor:
         out_data = self.data[index]
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -542,7 +542,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # elementwise non-linearities
     # ------------------------------------------------------------------ #
-    def exp(self) -> "Tensor":
+    def exp(self) -> Tensor:
         out_data = np.exp(self.data)
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -552,7 +552,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def log(self) -> "Tensor":
+    def log(self) -> Tensor:
         out_data = np.log(self.data)
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -562,10 +562,10 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def sqrt(self) -> "Tensor":
+    def sqrt(self) -> Tensor:
         return self**0.5
 
-    def tanh(self) -> "Tensor":
+    def tanh(self) -> Tensor:
         out_data = np.tanh(self.data)
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -575,7 +575,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def relu(self) -> "Tensor":
+    def relu(self) -> Tensor:
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(np.maximum(self.data, 0.0))
         mask = (self.data > 0).astype(self.data.dtype)
@@ -586,7 +586,7 @@ class Tensor:
 
         return self._make_child(out_data, (self,), backward)
 
-    def sigmoid(self) -> "Tensor":
+    def sigmoid(self) -> Tensor:
         out_data = 1.0 / (1.0 + np.exp(-self.data))
         if not (_GRAD_ENABLED and self.requires_grad):
             return Tensor._result(out_data)
@@ -619,7 +619,7 @@ class Tensor:
         ordering: list[Tensor] = []
         visited: set[int] = set()
 
-        def visit(node: "Tensor") -> None:
+        def visit(node: Tensor) -> None:
             stack = [(node, iter(node._parents))]
             visited.add(id(node))
             while stack:
@@ -646,21 +646,24 @@ class Tensor:
     # constructors
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+    def zeros(*shape, requires_grad: bool = False) -> Tensor:
         return Tensor(np.zeros(shape), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+    def ones(*shape, requires_grad: bool = False) -> Tensor:
         return Tensor(np.ones(shape), requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, scale: float = 1.0, rng: np.random.Generator | None = None,
-              requires_grad: bool = False) -> "Tensor":
-        rng = rng or np.random.default_rng()
+              requires_grad: bool = False) -> Tensor:
+        if rng is None:
+            # Deterministic by default: an unseeded generator here would make
+            # weight init irreproducible run-to-run (REP105).
+            rng = np.random.default_rng(0)
         return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
 
     @staticmethod
-    def concat(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+    def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         tensors = list(tensors)
         datas = [t.data for t in tensors]
         out_data = np.concatenate(datas, axis=axis)
@@ -671,7 +674,7 @@ class Tensor:
         offsets = np.cumsum([0] + sizes)
 
         def backward(grad: np.ndarray) -> None:
-            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:], strict=True):
                 index = [slice(None)] * grad.ndim
                 index[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(index)])
@@ -682,7 +685,7 @@ class Tensor:
         return child
 
     @staticmethod
-    def stack(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":
+    def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
         tensors = list(tensors)
         out_data = np.stack([t.data for t in tensors], axis=axis)
         child = Tensor._result(out_data)
@@ -691,7 +694,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             moved = np.moveaxis(grad, axis, 0)
-            for tensor, piece in zip(tensors, moved):
+            for tensor, piece in zip(tensors, moved, strict=True):
                 tensor._accumulate(piece)
 
         child.requires_grad = True

@@ -37,10 +37,10 @@ class PLMConfig:
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError("dropout must lie in [0, 1)")
 
-    def with_vocab_size(self, vocab_size: int) -> "PLMConfig":
+    def with_vocab_size(self, vocab_size: int) -> PLMConfig:
         """Return a copy with the vocabulary size replaced."""
         return replace(self, vocab_size=vocab_size)
 
-    def as_deberta(self) -> "PLMConfig":
+    def as_deberta(self) -> PLMConfig:
         """Return a copy with relative (disentangled) attention enabled."""
         return replace(self, relative_attention=True)

@@ -45,7 +45,8 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from typing import Any, Callable, ClassVar, Protocol, Sequence, runtime_checkable
+from collections.abc import Callable, Sequence
+from typing import Any, ClassVar, Protocol, runtime_checkable
 
 from repro.core.errors import WorkerCrashed
 
@@ -151,7 +152,9 @@ class SerialExecutor:
         future: Future = Future()
         try:
             future.set_result(fn(self._payload, task))
-        except BaseException as error:  # noqa: BLE001 - mirror pool semantics
+        # repro: allow[REP104] -- mirrors pool future semantics: the error is
+        # delivered to the caller through future.result(), not swallowed
+        except BaseException as error:
             future.set_exception(error)
         return future
 
@@ -274,8 +277,8 @@ class ProcessExecutor:
         self.max_respawns = max_respawns
         self._payload: Any = None
         self._pool: ProcessPoolExecutor | None = None
-        self._pending: set[Future] = set()
         self._pending_lock = threading.Lock()
+        self._pending: set[Future] = set()  # guarded-by: _pending_lock
 
     @property
     def workers(self) -> int:

@@ -28,7 +28,8 @@ import time
 from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Callable, ClassVar, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any, ClassVar
 
 __all__ = ["FaultRule", "FaultPlan", "FaultyExecutor"]
 
@@ -102,13 +103,13 @@ class FaultPlan:
     # ------------------------------------------------------------------ #
     # builders
     # ------------------------------------------------------------------ #
-    def _add(self, rule: FaultRule) -> "FaultPlan":
+    def _add(self, rule: FaultRule) -> FaultPlan:
         self.rules.append(rule)
         return self
 
     def fail(self, error: BaseException, *, times: int | None = 1,
              match: Callable[[Any], bool] | None = None,
-             on_calls: Sequence[int] | None = None) -> "FaultPlan":
+             on_calls: Sequence[int] | None = None) -> FaultPlan:
         """Raise ``error`` on matching calls (``times=None`` → always)."""
         return self._add(FaultRule(
             kind="error", error=error, times=times, match=match,
@@ -117,7 +118,7 @@ class FaultPlan:
 
     def crash_worker(self, *, times: int | None = 1,
                      match: Callable[[Any], bool] | None = None,
-                     on_calls: Sequence[int] | None = None) -> "FaultPlan":
+                     on_calls: Sequence[int] | None = None) -> FaultPlan:
         """Simulate a dead pool worker (raises ``BrokenProcessPool``)."""
         return self._add(FaultRule(
             kind="crash", times=times, match=match,
@@ -126,7 +127,7 @@ class FaultPlan:
 
     def delay(self, seconds: float, *, times: int | None = 1,
               match: Callable[[Any], bool] | None = None,
-              on_calls: Sequence[int] | None = None) -> "FaultPlan":
+              on_calls: Sequence[int] | None = None) -> FaultPlan:
         """Sleep ``seconds`` (on the executor's injectable clock) then proceed."""
         return self._add(FaultRule(
             kind="delay", delay_s=seconds, times=times, match=match,
@@ -204,7 +205,9 @@ class FaultyExecutor:
     def submit(self, fn, task) -> Future:
         try:
             self.plan.apply(task, sleep=self._sleep)
-        except BaseException as error:  # noqa: BLE001 - scripted fault
+        # repro: allow[REP104] -- scripted fault: the injected error is set on
+        # the returned future so the caller's result() re-raises it
+        except BaseException as error:
             future: Future = Future()
             future.set_exception(error)
             return future

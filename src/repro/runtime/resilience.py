@@ -35,7 +35,8 @@ import time
 from concurrent.futures import BrokenExecutor, Future
 from concurrent.futures import TimeoutError as FuturesTimeout
 from dataclasses import asdict, dataclass
-from typing import Any, Callable, ClassVar, Hashable, Sequence
+from collections.abc import Callable, Hashable, Sequence
+from typing import Any, ClassVar
 
 from repro.core.errors import BreakerOpen, DeadlineExceeded, WorkerCrashed
 
@@ -95,7 +96,7 @@ class RuntimePolicy:
         return asdict(self)
 
     @classmethod
-    def from_dict(cls, payload: dict) -> "RuntimePolicy":
+    def from_dict(cls, payload: dict) -> RuntimePolicy:
         """Rebuild a policy, ignoring unknown keys (forward compatibility)."""
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{key: value for key, value in payload.items() if key in known})
@@ -129,12 +130,15 @@ class CircuitBreaker:
         self.reset_s = reset_s
         self._clock = clock
         self._lock = threading.Lock()
-        self._consecutive_failures = 0
-        self._opened_at: float | None = None
-        self.trips = 0  # closed -> open transitions over the breaker's life
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._opened_at: float | None = None  # guarded-by: _lock
+        # Closed -> open transitions over the breaker's life.
+        self.trips = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------ #
-    def _probe_ready(self) -> bool:
+    def _probe_ready_locked(self) -> bool:
+        # The _locked suffix is the repo convention (checked by REP101):
+        # callers hold self._lock.
         return (self._opened_at is not None
                 and self._clock() - self._opened_at >= self.reset_s)
 
@@ -143,14 +147,14 @@ class CircuitBreaker:
         with self._lock:
             if self._opened_at is None:
                 return self.CLOSED
-            return self.HALF_OPEN if self._probe_ready() else self.OPEN
+            return self.HALF_OPEN if self._probe_ready_locked() else self.OPEN
 
     def allow(self) -> bool:
         """Whether a call may proceed now (consumes the half-open probe)."""
         with self._lock:
             if self._opened_at is None:
                 return True
-            if self._probe_ready():
+            if self._probe_ready_locked():
                 # Grant one probe and restart the window so concurrent
                 # callers don't stampede a barely-recovering target.
                 self._opened_at = self._clock()
@@ -181,7 +185,7 @@ class ResilienceStats:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counts = dict.fromkeys(self.COUNTERS, 0)
+        self._counts = dict.fromkeys(self.COUNTERS, 0)  # guarded-by: _lock
 
     def increment(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -206,7 +210,7 @@ class _ResilientFuture:
     sites already block.
     """
 
-    def __init__(self, executor: "ResilientExecutor", fn, task,
+    def __init__(self, executor: ResilientExecutor, fn, task,
                  inner: Future | None, deadline_s: float | None = None):
         self._executor = executor
         self._fn = fn
@@ -224,7 +228,9 @@ class _ResilientFuture:
             self._result = self._executor._await(
                 self._fn, self._task, self._inner, deadline_s=self._deadline_s
             )
-        except BaseException as error:  # noqa: BLE001 - future semantics
+        # repro: allow[REP104] -- future semantics: the error is stored and
+        # re-raised to the caller inside result()
+        except BaseException as error:
             self._error = error
         self._resolved = True
         self._inner = None
@@ -286,10 +292,10 @@ class ResilientExecutor:
         self._sleep = sleep
         self._target_of = target_of or (lambda task: "default")
         self.stats = stats or ResilienceStats()
-        self._rng = random.Random(self.policy.jitter_seed)
         self._rng_lock = threading.Lock()
-        self._breakers: dict[Hashable, CircuitBreaker] = {}
+        self._rng = random.Random(self.policy.jitter_seed)  # guarded-by: _rng_lock
         self._breakers_lock = threading.Lock()
+        self._breakers: dict[Hashable, CircuitBreaker] = {}  # guarded-by: _breakers_lock
 
     # ------------------------------------------------------------------ #
     # SearchExecutor protocol
@@ -305,7 +311,7 @@ class ResilientExecutor:
         tasks = list(tasks)
         futures = [self._submit_if_allowed(fn, task) for task in tasks]
         return [self._await(fn, task, future)
-                for task, future in zip(tasks, futures)]
+                for task, future in zip(tasks, futures, strict=True)]
 
     def submit(self, fn, task, deadline_s: float | None = None) -> _ResilientFuture:
         """Submit one task; ``deadline_s`` is an *absolute* clock reading.
@@ -421,7 +427,9 @@ class ResilientExecutor:
                 self._inner.recover()
                 error = WorkerCrashed(f"worker pool died running {task!r}")
                 error.__cause__ = exc
-            except BaseException as exc:  # noqa: BLE001 - classified below
+            # repro: allow[REP104] -- retry engine: the error feeds the
+            # breaker and is raised verbatim once retries exhaust (below)
+            except BaseException as exc:
                 error = exc
             else:
                 breaker.record_success()

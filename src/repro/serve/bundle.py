@@ -178,7 +178,7 @@ class ServiceBundle:
 
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_annotator(cls, annotator: "KGLinkAnnotator") -> "ServiceBundle":
+    def from_annotator(cls, annotator: KGLinkAnnotator) -> ServiceBundle:
         """Capture a fitted annotator's serving state (no copies of weights)."""
         if annotator.model is None or annotator.tokenizer is None:
             raise RuntimeError("only fitted annotators can be bundled")
@@ -250,7 +250,7 @@ class ServiceBundle:
         return directory
 
     @classmethod
-    def load(cls, directory: str | Path) -> "ServiceBundle":
+    def load(cls, directory: str | Path) -> ServiceBundle:
         """Load a bundle; needs no graph and performs no index rebuild.
 
         Validation runs first: manifest schema, artifact presence, and the

@@ -52,7 +52,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from itertools import islice
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator
+from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -191,7 +192,7 @@ class _PreparerSpec:
     :class:`_Part1Preparer` from it and keeps it for the life of the pool.
     """
 
-    config: "KGLinkConfig"
+    config: KGLinkConfig
     label_vocabulary: list[str]
     tokenizer_tokens: list[str]
     linker_config: LinkerConfig
@@ -204,7 +205,7 @@ class _PreparerSpec:
         state.pop("_thread_local", None)
         return state
 
-    def preparer(self) -> "_Part1Preparer":
+    def preparer(self) -> _Part1Preparer:
         """The calling thread's preparer (built on first use).
 
         Per-*thread* rather than per-spec because the Part-1 machinery
@@ -229,7 +230,7 @@ class _Part1Preparer:
         self.trainer = trainer
 
     @classmethod
-    def from_spec(cls, spec: _PreparerSpec) -> "_Part1Preparer":
+    def from_spec(cls, spec: _PreparerSpec) -> _Part1Preparer:
         from repro.serve.bundle import tokenizer_from_tokens
 
         tokenizer = tokenizer_from_tokens(spec.tokenizer_tokens)
@@ -344,12 +345,13 @@ class AnnotationService:
             )
         else:
             self._prepare_dispatch = None
-        self._closed = False
         # close() drains: annotate calls register here while running, and
         # close() waits for the count to hit zero before tearing pools down.
+        # (Condition's default lock is an RLock, so _ensure_open may
+        # re-acquire it under _track.)
         self._lifecycle = threading.Condition()
-        self._inflight = 0
-        self._fatal: str | None = None
+        self._closed = False  # guarded-by: _lifecycle
+        self._inflight = 0  # guarded-by: _lifecycle
         # Part-1 state (the retrieval backend's shared score buffer, the
         # extractor's caches) is not thread-safe; Part-2 shares model state.
         # The two locks serialize the respective stages so annotate()/
@@ -357,13 +359,14 @@ class AnnotationService:
         self._prepare_lock = threading.Lock()
         self._predict_lock = threading.Lock()
         self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._tables = 0
-        self._part1_seconds = 0.0
-        self._encode_seconds = 0.0
-        self._batches = 0
-        self._useful_tokens = 0
-        self._padded_tokens = 0
+        self._fatal: str | None = None  # guarded-by: _stats_lock
+        self._requests = 0  # guarded-by: _stats_lock
+        self._tables = 0  # guarded-by: _stats_lock
+        self._part1_seconds = 0.0  # guarded-by: _stats_lock
+        self._encode_seconds = 0.0  # guarded-by: _stats_lock
+        self._batches = 0  # guarded-by: _stats_lock
+        self._useful_tokens = 0  # guarded-by: _stats_lock
+        self._padded_tokens = 0  # guarded-by: _stats_lock
 
     # ------------------------------------------------------------------ #
     # construction
@@ -372,7 +375,7 @@ class AnnotationService:
     def load(cls, directory: str | Path, max_batch: int = 16,
              cache_size: int = 1024, processes: int = 0,
              executor: SearchExecutor | None = None,
-             policy: RuntimePolicy | None = None) -> "AnnotationService":
+             policy: RuntimePolicy | None = None) -> AnnotationService:
         """Start a service from a saved bundle directory.
 
         No knowledge graph is constructed and no index is rebuilt: the
@@ -419,7 +422,7 @@ class AnnotationService:
             self._prepare_executor.close()
         self.linker.close()
 
-    def __enter__(self) -> "AnnotationService":
+    def __enter__(self) -> AnnotationService:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -427,11 +430,14 @@ class AnnotationService:
         self.close()
 
     def _ensure_open(self) -> None:
-        if self._closed:
-            raise ServiceClosed(
-                "this AnnotationService is closed; load the bundle into a "
-                "new service to keep annotating"
-            )
+        # The lifecycle lock is re-entrant (Condition wraps an RLock), so
+        # this is safe both from bare call sites and from under _track().
+        with self._lifecycle:
+            if self._closed:
+                raise ServiceClosed(
+                    "this AnnotationService is closed; load the bundle into a "
+                    "new service to keep annotating"
+                )
 
     @contextmanager
     def _track(self):
@@ -506,10 +512,13 @@ class AnnotationService:
 
         def join() -> list[PreparedExample]:
             examples: list[PreparedExample] = []
-            for chunk, future in zip(chunks, futures):
+            for chunk, future in zip(chunks, futures, strict=True):
                 try:
                     examples.extend(future.result())
-                except Exception as error:  # noqa: BLE001 - degrade locally
+                # repro: allow[REP104] -- degraded path: the error is consumed
+                # by the serial in-process fallback, which re-raises on double
+                # failure (see _prepare_locally)
+                except Exception as error:
                     examples.extend(self._prepare_locally(chunk, error))
             return examples
 
@@ -584,7 +593,7 @@ class AnnotationService:
             if fresh:
                 with self._prepare_lock:
                     for table, key, example in zip(missing_tables, missing_keys,
-                                                   fresh):
+                                                   fresh, strict=True):
                         self._cache.put(table.table_id, example)
                         for position in positions_by_key[key]:
                             slots[position] = example
@@ -764,7 +773,9 @@ class AnnotationService:
         open/half-open breakers, fallback activations, retries or timeouts.
         """
         counters, breakers, _ = self._resilience_snapshot()
-        if self._closed:
+        with self._lifecycle:
+            closed = self._closed
+        if closed:
             return ServiceHealth("failed", ("service closed",), breakers)
         with self._stats_lock:
             fatal = self._fatal

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import re
 from collections import Counter
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.text.vocab import SpecialTokens, Vocabulary
 
@@ -50,7 +50,7 @@ class WordPieceTokenizer:
         vocab_size: int = 4000,
         min_frequency: int = 2,
         specials: SpecialTokens | None = None,
-    ) -> "WordPieceTokenizer":
+    ) -> WordPieceTokenizer:
         """Learn a sub-word vocabulary from raw texts.
 
         Whole words above ``min_frequency`` are added first (most frequent

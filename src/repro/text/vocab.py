@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 __all__ = ["SpecialTokens", "Vocabulary"]
 
@@ -104,7 +104,7 @@ class Vocabulary:
         max_size: int | None = None,
         min_frequency: int = 1,
         specials: SpecialTokens | None = None,
-    ) -> "Vocabulary":
+    ) -> Vocabulary:
         """Build a frequency-sorted vocabulary from tokenised documents."""
         counter: Counter[str] = Counter()
         for stream in token_streams:

@@ -1,0 +1,136 @@
+"""CLI contract: exit codes, JSON shape, rule selection, module scoping.
+
+The tree-under-test is a miniature ``src/repro`` built in ``tmp_path`` so
+exit codes are exercised on real files, exactly as CI invokes the tool.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+
+@pytest.fixture()
+def clean_tree(tmp_path: Path) -> Path:
+    module = tmp_path / "src" / "repro" / "gateway" / "app.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        "import time\n\n"
+        "def deadline(budget_s):\n"
+        "    return time.monotonic() + budget_s\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+@pytest.fixture()
+def violating_tree(tmp_path: Path) -> Path:
+    # The acceptance scenario: a stray wall-clock read in the gateway.
+    module = tmp_path / "src" / "repro" / "gateway" / "app.py"
+    module.parent.mkdir(parents=True)
+    module.write_text(
+        "import time\n\n"
+        "def deadline(budget_s):\n"
+        "    return time.time() + budget_s\n",
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main([str(clean_tree / "src")]) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_seeded_violation_exits_nonzero(self, violating_tree, capsys):
+        assert main([str(violating_tree / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "REP103" in out and "time.time" in out
+
+    def test_unknown_select_exits_two(self, clean_tree, capsys):
+        assert main(["--select", "REP999", str(clean_tree / "src")]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_no_files_exits_two(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main([str(empty)]) == 2
+        assert "no Python files" in capsys.readouterr().err
+
+    def test_waived_violation_exits_zero(self, tmp_path, capsys):
+        module = tmp_path / "src" / "repro" / "gateway" / "app.py"
+        module.parent.mkdir(parents=True)
+        module.write_text(
+            "import time\n\n"
+            "def stamp():\n"
+            "    # repro: allow[REP103] -- log timestamp, no deadline math\n"
+            "    return time.time()\n",
+            encoding="utf-8",
+        )
+        assert main([str(tmp_path / "src")]) == 0
+        assert "1 waived" in capsys.readouterr().out
+
+
+class TestSelection:
+    def test_select_limits_rules(self, violating_tree, capsys):
+        # REP105 alone does not fire on the wall-clock tree.
+        assert main(["--select", "REP105", str(violating_tree / "src")]) == 0
+        capsys.readouterr()
+        # Names work interchangeably with codes.
+        assert main(["--select", "monotonic-deadlines",
+                     str(violating_tree / "src")]) == 1
+
+    def test_module_scoping_spares_out_of_scope_files(self, tmp_path, capsys):
+        # The same wall-clock call outside runtime/gateway modules is legal.
+        module = tmp_path / "src" / "repro" / "data" / "io.py"
+        module.parent.mkdir(parents=True)
+        module.write_text("import time\nstamp = time.time()\n",
+                          encoding="utf-8")
+        assert main([str(tmp_path / "src")]) == 0
+
+    def test_list_rules_prints_all_codes(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP101", "REP102", "REP103", "REP104", "REP105"):
+            assert code in out
+
+
+class TestJsonOutput:
+    def test_shape_and_exit_code(self, violating_tree, capsys):
+        assert main(["--format", "json", str(violating_tree / "src")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["files"] == 1
+        assert payload["summary"]["unwaived"] == 1
+        assert payload["summary"]["waived"] == 0
+        (finding,) = payload["findings"]
+        assert finding["code"] == "REP103"
+        assert finding["line"] == 4
+        assert finding["waived"] is False
+
+    def test_clean_tree_empty_findings(self, clean_tree, capsys):
+        assert main(["--format", "json", str(clean_tree / "src")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["summary"]["total"] == 0
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self, violating_tree):
+        # The CI gate runs the tool exactly like this.
+        env = dict(os.environ)
+        repo_src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = str(repo_src)
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", str(violating_tree / "src")],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert result.returncode == 1
+        assert "REP103" in result.stdout

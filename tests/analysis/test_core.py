@@ -1,0 +1,81 @@
+"""Framework plumbing: module derivation, dotted names, the registry."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import (
+    Rule,
+    all_rules,
+    derive_module,
+    dotted_name,
+    register_rule,
+    rule_codes,
+)
+
+
+class TestDeriveModule:
+    @pytest.mark.parametrize("path, module", [
+        ("src/repro/gateway/app.py", "repro.gateway.app"),
+        ("/anywhere/on/disk/src/repro/core/cache.py", "repro.core.cache"),
+        ("src/repro/analysis/__init__.py", "repro.analysis"),
+        ("tests/gateway/test_batcher.py", "tests.gateway.test_batcher"),
+        ("benchmarks/bench_serve.py", "benchmarks.bench_serve"),
+        ("scripts/check_static_analysis.py", "scripts.check_static_analysis"),
+        ("standalone.py", "standalone"),
+    ])
+    def test_anchoring(self, path, module):
+        assert derive_module(Path(path)) == module
+
+    def test_tmp_src_tree_maps_into_repro(self, tmp_path):
+        # The scoping that makes fixture trees work: any src anchor counts.
+        target = tmp_path / "src" / "repro" / "runtime" / "executor.py"
+        assert derive_module(target) == "repro.runtime.executor"
+
+
+class TestDottedName:
+    @pytest.mark.parametrize("expr, expected", [
+        ("time.sleep", "time.sleep"),
+        ("np.random.default_rng", "np.random.default_rng"),
+        ("self._rng.random", "self._rng.random"),
+        ("plain", "plain"),
+    ])
+    def test_resolution(self, expr, expected):
+        node = ast.parse(expr, mode="eval").body
+        assert dotted_name(node) == expected
+
+    def test_non_name_root_is_none(self):
+        node = ast.parse("get_rng().random", mode="eval").body
+        assert dotted_name(node) is None
+
+
+class TestRegistry:
+    def test_five_rules_registered_in_code_order(self):
+        codes = [rule.code for rule in all_rules()]
+        assert codes == ["REP101", "REP102", "REP103", "REP104", "REP105"]
+
+    def test_rule_codes_accept_names_and_codes(self):
+        tokens = rule_codes()
+        assert tokens["REP104"] == "REP104"
+        assert tokens["typed-errors"] == "REP104"
+        assert tokens["lock-discipline"] == "REP101"
+
+    def test_duplicate_code_is_rejected(self):
+        class Impostor(Rule):
+            code = "REP101"
+            name = "impostor"
+            description = "duplicate"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule(Impostor)
+
+    def test_missing_code_is_rejected(self):
+        class Nameless(Rule):
+            name = "nameless"
+            description = "no code"
+
+        with pytest.raises(ValueError, match="non-empty code"):
+            register_rule(Nameless)

@@ -1,0 +1,402 @@
+"""Fixture-driven tests: one violating and one clean snippet per rule.
+
+Every rule is fed a minimal snippet that trips it and a near-identical
+snippet that follows the convention — so a rule regression (stops firing,
+or starts over-firing) pins to the exact invariant that broke.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (
+    LockDisciplineRule,
+    MonotonicDeadlinesRule,
+    NoBlockingInAsyncRule,
+    SeededRngRule,
+    TypedErrorsRule,
+)
+from tests.analysis.util import parse_snippet, run_rule
+
+
+class TestLockDiscipline:
+    VIOLATING = """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0  # guarded-by: _lock
+
+            def bump(self):
+                self.hits += 1  # not under the lock
+        """
+
+    CLEAN = """\
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.hits = 0  # guarded-by: _lock
+
+            def bump(self):
+                with self._lock:
+                    self.hits += 1
+        """
+
+    def test_unlocked_access_is_flagged(self):
+        findings = run_rule(LockDisciplineRule(), self.VIOLATING)
+        assert len(findings) == 1
+        assert findings[0].code == "REP101"
+        assert "'self.hits'" in findings[0].message
+        assert "_lock" in findings[0].message
+
+    def test_locked_access_is_clean(self):
+        assert run_rule(LockDisciplineRule(), self.CLEAN) == []
+
+    def test_init_is_exempt(self):
+        # Construction happens-before publication: __init__ writes freely.
+        source = """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.hits = 0  # guarded-by: _lock
+                    self.hits = 10
+            """
+        assert run_rule(LockDisciplineRule(), source) == []
+
+    def test_locked_suffix_methods_are_exempt(self):
+        source = """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.hits = 0  # guarded-by: _lock
+
+                def _bump_locked(self):
+                    self.hits += 1  # caller holds the lock, per convention
+            """
+        assert run_rule(LockDisciplineRule(), source) == []
+
+    def test_wrong_lock_does_not_satisfy(self):
+        source = """\
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._other = threading.Lock()
+                    self.hits = 0  # guarded-by: _lock
+
+                def bump(self):
+                    with self._other:
+                        self.hits += 1
+            """
+        findings = run_rule(LockDisciplineRule(), source)
+        assert len(findings) == 1 and findings[0].code == "REP101"
+
+    def test_guarded_by_inside_docstring_is_ignored(self):
+        # The annotation is a real comment token, not text in a string.
+        source = '''\
+            class Counter:
+                def __init__(self):
+                    self.hits = 0
+                    self.note = """# guarded-by: _lock"""
+
+                def bump(self):
+                    self.hits += 1
+            '''
+        assert run_rule(LockDisciplineRule(), source) == []
+
+
+class TestNoBlockingInAsync:
+    PATH = "src/repro/gateway/app.py"
+
+    VIOLATING = """\
+        import time
+
+        async def handle(request):
+            time.sleep(0.1)
+            return request
+        """
+
+    CLEAN = """\
+        import asyncio
+
+        async def handle(request):
+            await asyncio.sleep(0.1)
+            return request
+        """
+
+    def test_time_sleep_in_async_def_is_flagged(self):
+        findings = run_rule(NoBlockingInAsyncRule(), self.VIOLATING, self.PATH)
+        assert len(findings) == 1
+        assert findings[0].code == "REP102"
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_asyncio_sleep_is_clean(self):
+        assert run_rule(NoBlockingInAsyncRule(), self.CLEAN, self.PATH) == []
+
+    def test_blocking_service_api_is_flagged(self):
+        source = """\
+            async def handle(service, table):
+                return service.annotate(table)
+            """
+        findings = run_rule(NoBlockingInAsyncRule(), source, self.PATH)
+        assert len(findings) == 1
+        assert "annotate" in findings[0].message
+
+    def test_run_in_executor_reference_is_clean(self):
+        # The sanctioned seam passes the blocking function by reference.
+        source = """\
+            async def handle(loop, service, table):
+                return await loop.run_in_executor(None, service.annotate, table)
+            """
+        assert run_rule(NoBlockingInAsyncRule(), source, self.PATH) == []
+
+    def test_nested_sync_def_is_skipped(self):
+        # A def inside an async def runs wherever it is invoked (a worker
+        # thread via the executor), not on the event loop.
+        source = """\
+            import time
+
+            async def handle(loop):
+                def blocking():
+                    time.sleep(0.5)
+                    return 1
+                return await loop.run_in_executor(None, blocking)
+            """
+        assert run_rule(NoBlockingInAsyncRule(), source, self.PATH) == []
+
+    def test_sync_defs_outside_gateway_scope(self):
+        context = parse_snippet("async def f():\n    pass\n",
+                                "src/repro/serve/service.py")
+        assert not NoBlockingInAsyncRule().applies_to(context)
+
+
+class TestMonotonicDeadlines:
+    PATH = "src/repro/runtime/resilience.py"
+
+    VIOLATING = """\
+        import time
+
+        def deadline(budget_s):
+            return time.time() + budget_s
+        """
+
+    CLEAN = """\
+        import time
+
+        def deadline(budget_s):
+            return time.monotonic() + budget_s
+        """
+
+    def test_wall_clock_is_flagged(self):
+        findings = run_rule(MonotonicDeadlinesRule(), self.VIOLATING, self.PATH)
+        assert len(findings) == 1
+        assert findings[0].code == "REP103"
+        assert "time.monotonic()" in findings[0].message
+
+    def test_monotonic_is_clean(self):
+        assert run_rule(MonotonicDeadlinesRule(), self.CLEAN, self.PATH) == []
+
+    def test_from_import_alias_is_caught(self):
+        source = """\
+            from time import time as now
+
+            def deadline(budget_s):
+                return now() + budget_s
+            """
+        findings = run_rule(MonotonicDeadlinesRule(), source, self.PATH)
+        assert len(findings) == 1 and "time.time" in findings[0].message
+
+    def test_datetime_now_is_flagged(self):
+        source = """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """
+        findings = run_rule(MonotonicDeadlinesRule(), source, self.PATH)
+        assert len(findings) == 1
+
+    def test_module_alias_is_caught(self):
+        source = """\
+            import time as clock
+
+            def deadline(budget_s):
+                return clock.time() + budget_s
+            """
+        findings = run_rule(MonotonicDeadlinesRule(), source, self.PATH)
+        assert len(findings) == 1 and "time.time" in findings[0].message
+
+    def test_module_alias_monotonic_stays_clean(self):
+        source = """\
+            import time as clock
+
+            def deadline(budget_s):
+                return clock.monotonic() + budget_s
+            """
+        assert run_rule(MonotonicDeadlinesRule(), source, self.PATH) == []
+
+    def test_datetime_class_alias_is_caught(self):
+        source = """\
+            from datetime import datetime as dt
+
+            def stamp():
+                return dt.now()
+            """
+        findings = run_rule(MonotonicDeadlinesRule(), source, self.PATH)
+        assert len(findings) == 1 and "datetime.datetime.now" in findings[0].message
+
+    def test_out_of_scope_module_is_ignored(self):
+        context = parse_snippet(self.VIOLATING, "src/repro/data/io.py")
+        assert not MonotonicDeadlinesRule().applies_to(context)
+
+
+class TestTypedErrors:
+    VIOLATING_RAISE = """\
+        def fail():
+            raise Exception("something broke")
+        """
+
+    VIOLATING_SWALLOW = """\
+        def run(fn):
+            try:
+                return fn()
+            except Exception:
+                return None
+        """
+
+    CLEAN = """\
+        class WorkerCrashed(RuntimeError):
+            pass
+
+        def run(fn):
+            try:
+                return fn()
+            except Exception as error:
+                raise WorkerCrashed(str(error)) from error
+        """
+
+    def test_raise_exception_is_flagged(self):
+        findings = run_rule(TypedErrorsRule(), self.VIOLATING_RAISE)
+        assert len(findings) == 1
+        assert findings[0].code == "REP104"
+        assert "raise Exception" in findings[0].message
+
+    def test_swallowing_broad_except_is_flagged(self):
+        findings = run_rule(TypedErrorsRule(), self.VIOLATING_SWALLOW)
+        assert len(findings) == 1
+        assert "except Exception" in findings[0].message
+
+    def test_mapping_handler_is_clean(self):
+        assert run_rule(TypedErrorsRule(), self.CLEAN) == []
+
+    def test_bare_reraise_is_clean(self):
+        source = """\
+            def run(fn):
+                try:
+                    return fn()
+                except Exception:
+                    raise
+            """
+        assert run_rule(TypedErrorsRule(), source) == []
+
+    def test_raise_in_nested_def_does_not_count(self):
+        # The nested function's raise runs later, elsewhere — the handler
+        # itself still swallows.
+        source = """\
+            def run(fn):
+                try:
+                    return fn()
+                except Exception as error:
+                    def later():
+                        raise error
+                    return later
+            """
+        findings = run_rule(TypedErrorsRule(), source)
+        assert len(findings) == 1
+
+    def test_errors_module_is_exempt(self):
+        context = parse_snippet(self.VIOLATING_RAISE,
+                                "src/repro/core/errors.py")
+        assert not TypedErrorsRule().applies_to(context)
+
+    def test_specific_except_is_clean(self):
+        source = """\
+            def run(fn):
+                try:
+                    return fn()
+                except ValueError:
+                    return None
+            """
+        assert run_rule(TypedErrorsRule(), source) == []
+
+
+class TestSeededRng:
+    VIOLATING = """\
+        import numpy as np
+
+        def sample():
+            return np.random.default_rng().normal()
+        """
+
+    CLEAN = """\
+        import numpy as np
+
+        def sample(seed):
+            return np.random.default_rng(seed).normal()
+        """
+
+    def test_unseeded_default_rng_is_flagged(self):
+        findings = run_rule(SeededRngRule(), self.VIOLATING)
+        assert len(findings) == 1
+        assert findings[0].code == "REP105"
+        assert "seed" in findings[0].message
+
+    def test_seeded_default_rng_is_clean(self):
+        assert run_rule(SeededRngRule(), self.CLEAN) == []
+
+    def test_legacy_numpy_global_is_flagged(self):
+        source = """\
+            import numpy as np
+
+            def sample():
+                return np.random.rand(3)
+            """
+        findings = run_rule(SeededRngRule(), source)
+        assert len(findings) == 1 and "global RNG state" in findings[0].message
+
+    def test_stdlib_random_module_function_is_flagged(self):
+        source = """\
+            import random
+
+            def sample():
+                return random.random()
+            """
+        findings = run_rule(SeededRngRule(), source)
+        assert len(findings) == 1
+
+    def test_unseeded_random_instance_is_flagged_but_seeded_is_clean(self):
+        unseeded = "import random\nrng = random.Random()\n"
+        seeded = "import random\nrng = random.Random(7)\n"
+        assert len(run_rule(SeededRngRule(), unseeded)) == 1
+        assert run_rule(SeededRngRule(), seeded) == []
+
+    def test_instance_stream_calls_are_clean(self):
+        # self._rng.random resolves to the full dotted name, which never
+        # collides with the module-level random.random.
+        source = """\
+            import random
+
+            class Jitter:
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+
+                def draw(self):
+                    return self._rng.random()
+            """
+        assert run_rule(SeededRngRule(), source) == []

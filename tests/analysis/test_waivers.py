@@ -1,0 +1,151 @@
+"""Waiver parsing: reasons are mandatory, tokens must name real rules."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.core import ANALYZER_CODE, extract_comments
+from repro.analysis.runner import analyze_file
+from repro.analysis.waivers import parse_waivers
+from tests.analysis.util import parse_snippet
+
+
+def waivers_for(source: str):
+    context = parse_snippet(source)
+    return parse_waivers(str(context.path), context.comments)
+
+
+class TestParsing:
+    def test_trailing_waiver_with_reason(self):
+        waivers = waivers_for(
+            "x = 1  # repro: allow[REP104] -- error is terminal here\n"
+        )
+        assert not waivers.problems
+        waiver = waivers.lookup("REP104", 1)
+        assert waiver is not None
+        assert waiver.reason == "error is terminal here"
+
+    def test_kebab_name_is_accepted(self):
+        waivers = waivers_for(
+            "x = 1  # repro: allow[typed-errors] -- terminal\n"
+        )
+        assert not waivers.problems
+        assert waivers.lookup("REP104", 1) is not None
+
+    def test_multiple_codes_comma_separated(self):
+        waivers = waivers_for(
+            "x = 1  # repro: allow[REP104, seeded-rng] -- demo fixture\n"
+        )
+        assert not waivers.problems
+        assert waivers.lookup("REP104", 1) is not None
+        assert waivers.lookup("REP105", 1) is not None
+        assert waivers.lookup("REP101", 1) is None
+
+    def test_missing_reason_is_a_problem(self):
+        waivers = waivers_for("x = 1  # repro: allow[REP104]\n")
+        assert len(waivers.problems) == 1
+        problem = waivers.problems[0]
+        assert problem.code == ANALYZER_CODE
+        assert "reason" in problem.message
+        # And the broken waiver waives nothing.
+        assert waivers.lookup("REP104", 1) is None
+
+    def test_unknown_code_is_a_problem(self):
+        waivers = waivers_for("x = 1  # repro: allow[REP999] -- whatever\n")
+        assert len(waivers.problems) == 1
+        assert "unknown rule" in waivers.problems[0].message
+        assert "REP999" in waivers.problems[0].message
+
+    def test_empty_allow_is_a_problem(self):
+        waivers = waivers_for("x = 1  # repro: allow[] -- nothing\n")
+        assert len(waivers.problems) == 1
+        assert "no rules" in waivers.problems[0].message
+
+    def test_analyzer_code_is_never_waivable(self):
+        # REP000 names the analyzer's own problems; a waiver must not be
+        # able to silence a malformed waiver.
+        waivers = waivers_for("x = 1  # repro: allow[REP000] -- try me\n")
+        assert len(waivers.problems) == 1
+        assert waivers.lookup(ANALYZER_CODE, 1) is None
+
+    def test_waiver_text_in_docstring_is_ignored(self):
+        source = '"""docs quoting # repro: allow[REP104] syntax"""\nx = 1\n'
+        waivers = waivers_for(source)
+        assert not waivers.problems
+        assert waivers.lookup("REP104", 1) is None
+
+
+class TestPlacement:
+    def test_own_line_waiver_covers_next_statement(self):
+        waivers = waivers_for(
+            "# repro: allow[REP104] -- terminal\n"
+            "x = 1\n"
+        )
+        assert waivers.lookup("REP104", 2) is not None
+
+    def test_waiver_reaches_through_a_comment_block(self):
+        # The waiver may open a multi-line comment block whose tail carries
+        # the rest of the reason; the statement below is still covered.
+        waivers = waivers_for(
+            "# repro: allow[REP104] -- the error is consumed by the\n"
+            "# fallback, which re-raises on double failure\n"
+            "x = 1\n"
+        )
+        assert waivers.lookup("REP104", 3) is not None
+
+    def test_waiver_does_not_leak_past_code(self):
+        waivers = waivers_for(
+            "# repro: allow[REP104] -- covers only line 2\n"
+            "x = 1\n"
+            "y = 2\n"
+        )
+        assert waivers.lookup("REP104", 2) is not None
+        assert waivers.lookup("REP104", 3) is None
+
+
+class TestIntegration:
+    def test_waived_finding_is_marked_not_dropped(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "def run(fn):\n"
+            "    try:\n"
+            "        return fn()\n"
+            "    # repro: allow[REP104] -- result is optional by contract\n"
+            "    except Exception:\n"
+            "        return None\n",
+            encoding="utf-8",
+        )
+        findings = analyze_file(target)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.code == "REP104" and finding.waived
+        assert finding.waiver_reason == "result is optional by contract"
+
+    def test_malformed_waiver_surfaces_as_unwaived_finding(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("x = 1  # repro: allow[REP104]\n", encoding="utf-8")
+        findings = analyze_file(target)
+        assert [f.code for f in findings] == [ANALYZER_CODE]
+        assert not findings[0].waived
+
+
+class TestExtractComments:
+    def test_only_real_comment_tokens(self):
+        source = (
+            '"""# not a comment"""\n'
+            "x = 1  # trailing\n"
+            "text = '# in a string'\n"
+            "# own line\n"
+        )
+        comments = extract_comments(source)
+        assert set(comments) == {2, 4}
+        assert comments[2] == "# trailing"
+
+    def test_syntax_error_in_file_reports_rep000(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n", encoding="utf-8")
+        findings = analyze_file(Path(target))
+        assert [f.code for f in findings] == [ANALYZER_CODE]
+        assert "syntax error" in findings[0].message

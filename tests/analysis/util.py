@@ -1,0 +1,29 @@
+"""Shared helpers for the repro.analysis test suite.
+
+Rules are exercised against inline snippets parsed under a *pretend* path,
+so each fixture controls the derived module (and therefore which rules
+apply) without writing files to disk.  CLI tests that need real files build
+a miniature ``src/repro/...`` tree under ``tmp_path`` instead.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+
+def parse_snippet(source: str, path: str = "src/repro/mod.py") -> ModuleContext:
+    """A :class:`ModuleContext` for an inline snippet under a pretend path."""
+    return ModuleContext.parse(Path(path), textwrap.dedent(source))
+
+
+def run_rule(rule: Rule, source: str,
+             path: str = "src/repro/mod.py") -> list[Finding]:
+    """Findings of one rule over a snippet; asserts the rule is in scope."""
+    context = parse_snippet(source, path)
+    assert rule.applies_to(context), (
+        f"{rule.code} does not apply to {context.module}; fixture path is wrong"
+    )
+    return list(rule.check(context))

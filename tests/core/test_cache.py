@@ -98,3 +98,30 @@ class TestThreadSafety:
         for thread in threads:
             thread.join()
         assert not failures
+
+    def test_len_and_contains_hold_the_lock(self):
+        # Regression test (REP101): `len(cache)` and `key in cache` used to
+        # probe the OrderedDict without the lock, racing put()'s relink and
+        # eviction loop.  Pin the fix by swapping in a recording lock and
+        # asserting both probes acquire it.
+        cache: LRUCache[str, int] = LRUCache(maxsize=4)
+        cache.put("a", 1)
+
+        class RecordingLock:
+            def __init__(self, inner: threading.Lock):
+                self.inner = inner
+                self.acquisitions = 0
+
+            def __enter__(self):
+                self.acquisitions += 1
+                return self.inner.__enter__()
+
+            def __exit__(self, *exc_info):
+                return self.inner.__exit__(*exc_info)
+
+        recorder = RecordingLock(cache._lock)
+        cache._lock = recorder  # type: ignore[assignment]
+        assert len(cache) == 1
+        assert recorder.acquisitions == 1
+        assert "a" in cache and "b" not in cache
+        assert recorder.acquisitions == 3

@@ -52,7 +52,7 @@ class TestMaskedSerialization:
     def test_mask_token_follows_cls(self, serializer, processed_tables):
         serialized = serializer.serialize(processed_tables[0], use_mask_token=True)
         mask_id = serializer.vocab.mask_id
-        for cls_pos, mask_pos in zip(serialized.cls_positions, serialized.mask_positions):
+        for cls_pos, mask_pos in zip(serialized.cls_positions, serialized.mask_positions, strict=True):
             assert mask_pos == cls_pos + 1
             assert serialized.token_ids[mask_pos] == mask_id
 
@@ -69,7 +69,7 @@ class TestMaskedSerialization:
         for processed in processed_tables:
             serialized = serializer.serialize(processed)
             positions = serialized.cls_positions + [serialized.sequence_length]
-            for index, (start, stop) in enumerate(zip(positions[:-1], positions[1:])):
+            for index, (start, stop) in enumerate(zip(positions[:-1], positions[1:], strict=True)):
                 # The last column's span also contains the trailing [SEP].
                 slack = 1 if index == len(positions) - 2 else 0
                 assert stop - start <= serializer.config.max_tokens_per_column + slack

@@ -187,7 +187,7 @@ class TestPredictionAndEvaluation:
         trainer.train(examples)
         predictions = trainer.predict(examples)
         assert len(predictions) == 5
-        for example, predicted in zip(examples, predictions):
+        for example, predicted in zip(examples, predictions, strict=True):
             assert len(predicted) == example.masked.n_columns
             assert all(label in label_vocabulary for label in predicted)
 

@@ -41,7 +41,7 @@ def test_search_matches_scalar_oracle_on_random_corpora(seed):
         expected = reference_search(index, query, top_k)
         actual = index.search(query, top_k=top_k)
         assert [hit.doc_id for hit in actual] == [hit.doc_id for hit in expected]
-        for got, want in zip(actual, expected):
+        for got, want in zip(actual, expected, strict=True):
             assert got.score == pytest.approx(want.score, abs=1e-9)
 
 
@@ -55,7 +55,7 @@ def test_parity_across_parameter_settings(k1, b):
         expected = reference_search(index, query, top_k=10)
         actual = index.search(query, top_k=10)
         assert [hit.doc_id for hit in actual] == [hit.doc_id for hit in expected]
-        for got, want in zip(actual, expected):
+        for got, want in zip(actual, expected, strict=True):
             assert got.score == pytest.approx(want.score, abs=1e-9)
 
 
@@ -101,7 +101,7 @@ def test_search_batch_matches_individual_searches():
     queries = ["w1 w2", "w3", "", "w999", "w4 w4 w5"]
     batched = index.search_batch(queries, top_k=6)
     assert len(batched) == len(queries)
-    for query, hits in zip(queries, batched):
+    for query, hits in zip(queries, batched, strict=True):
         assert hits == index.search(query, top_k=6)
 
 

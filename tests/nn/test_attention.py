@@ -113,7 +113,7 @@ class TestGradientParity:
                 out = _unfused(q, k, v, mask=mask, bias=bias)
             (out * out).sum().backward()
             grads[fused] = (q.grad, k.grad, v.grad, bias.grad)
-        for fused_grad, reference_grad in zip(grads[True], grads[False]):
+        for fused_grad, reference_grad in zip(grads[True], grads[False], strict=True):
             np.testing.assert_allclose(fused_grad, reference_grad, atol=1e-9)
 
     @pytest.mark.parametrize("argument", ["q", "k", "v", "bias"])
@@ -175,7 +175,7 @@ class TestGradientParity:
                 out = _unfused(q, k, v, mask=mask, bias=bias)
             (out * out).sum().backward()
             grads[fused] = (q.grad, k.grad, v.grad, bias.grad)
-        for fused_grad, reference_grad in zip(grads[True], grads[False]):
+        for fused_grad, reference_grad in zip(grads[True], grads[False], strict=True):
             np.testing.assert_allclose(fused_grad, reference_grad, atol=1e-9)
         np.testing.assert_array_equal(grads[True][0][0], 0.0)  # q grad, table 0
         np.testing.assert_array_equal(grads[True][1][0], 0.0)  # k grad, table 0
@@ -192,7 +192,7 @@ class TestGradientParity:
             inp = Tensor(x.copy(), requires_grad=True)
             layer(inp).sum().backward()
             grads[fused] = (inp.grad, layer.qkv.weight.grad, layer.output.weight.grad)
-        for fused_grad, reference_grad in zip(grads[True], grads[False]):
+        for fused_grad, reference_grad in zip(grads[True], grads[False], strict=True):
             np.testing.assert_allclose(fused_grad, reference_grad, atol=1e-9)
 
 

@@ -279,7 +279,7 @@ class TestOptimizerStateDtype:
         path = save_state_dict(optimizer.state_dict(), tmp_path / "opt.npz")
         restored = AdamW(Linear(3, 3).parameters(), lr=1e-3)
         restored.load_state_dict(load_state_dict(path))
-        for fresh, saved in zip(restored._v, optimizer._v):
+        for fresh, saved in zip(restored._v, optimizer._v, strict=True):
             np.testing.assert_allclose(fresh, saved)
 
     def test_sgd_velocity_matches_param_dtype(self):

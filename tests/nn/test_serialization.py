@@ -46,7 +46,7 @@ class TestModuleSaveLoad:
         target = nn.TransformerEncoderLayer(8, 2, 16, rng=np.random.default_rng(7))
         load_module(target, path)
         for (name_a, param_a), (name_b, param_b) in zip(
-            source.named_parameters(), target.named_parameters()
+            source.named_parameters(), target.named_parameters(), strict=True
         ):
             assert name_a == name_b
             np.testing.assert_allclose(param_a.data, param_b.data)

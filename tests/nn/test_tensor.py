@@ -81,6 +81,17 @@ class TestTensorBasics:
         assert np.all(Tensor.ones(2, 2).data == 1.0)
         assert Tensor.randn(5, rng=np.random.default_rng(0)).shape == (5,)
 
+    def test_randn_without_rng_is_deterministic(self):
+        # Regression test (REP105): randn used to fall back to an unseeded
+        # default_rng(), so weight init differed run-to-run.  The fallback
+        # is now a fixed seed — two bare calls draw identical values.
+        first = Tensor.randn(4, 3)
+        second = Tensor.randn(4, 3)
+        np.testing.assert_array_equal(first.data, second.data)
+        # An explicit generator still overrides the fallback.
+        seeded = Tensor.randn(4, 3, rng=np.random.default_rng(7))
+        assert not np.array_equal(first.data, seeded.data)
+
     def test_backward_requires_grad(self):
         with pytest.raises(RuntimeError):
             Tensor([1.0]).backward()

@@ -157,7 +157,8 @@ class TestFaultPlan:
             record = []
             for task in range(6):
                 try:
-                    plan.apply(task, sleep=lambda s: record.append(("sleep", task)))
+                    plan.apply(task,
+                               sleep=lambda s, task=task: record.append(("sleep", task)))
                 except RuntimeError:
                     record.append(("error", task))
             return record, plan.fired

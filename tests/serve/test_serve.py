@@ -13,6 +13,7 @@ import json
 import pytest
 
 from repro.core.annotator import KGLinkAnnotator, KGLinkConfig
+from repro.core.errors import ServiceClosed
 from repro.data.corpus import TableCorpus
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.snapshot import KGSnapshot
@@ -468,7 +469,7 @@ class TestConcurrentAnnotate:
         def hammer():
             try:
                 for _ in range(rounds):
-                    for table, want in zip(serve_tables, expected):
+                    for table, want in zip(serve_tables, expected, strict=True):
                         if service.annotate(table) != want:
                             raise AssertionError("prediction changed under threads")
             except Exception as error:  # noqa: BLE001 - surfaced below
@@ -594,14 +595,12 @@ class TestCloseRace:
         closer.join(timeout=30.0)
         assert not closer.is_alive() and not annotator.is_alive()
         assert results and len(results[0]) == 3  # the riders got answers
-        with pytest.raises(Exception):
+        with pytest.raises(ServiceClosed):
             service.annotate(serve_tables[0])  # and the service is now closed
 
     def test_concurrent_annotate_and_close_never_crashes(self, bundle_dir,
                                                          serve_tables):
         import threading
-
-        from repro.core.errors import ServiceClosed
 
         service = AnnotationService.load(bundle_dir)
         outcomes: list = []
@@ -629,3 +628,59 @@ class TestCloseRace:
         # Every caller either got answers or the typed refusal — a pool
         # never died underneath an admitted request.
         assert all(kind in ("ok", "closed") for kind, _ in outcomes), outcomes
+
+
+class TestLifecycleLockDiscipline:
+    """``_closed`` is guarded-by ``_lifecycle``: every reader takes the lock.
+
+    Pins the REP101 fixes — ``_ensure_open`` and ``health()`` used to read
+    ``_closed`` without the lifecycle lock, so a reader could observe the
+    flag mid-flip while ``close()`` was draining.
+    """
+
+    def test_ensure_open_and_health_acquire_the_lifecycle_lock(self, bundle_dir):
+        service = AnnotationService.load(bundle_dir)
+        inner = service._lifecycle
+        acquisitions = []
+
+        class RecordingCondition:
+            def __enter__(self):
+                acquisitions.append(1)
+                return inner.__enter__()
+
+            def __exit__(self, *exc_info):
+                return inner.__exit__(*exc_info)
+
+            def __getattr__(self, name):
+                return getattr(inner, name)
+
+        service._lifecycle = RecordingCondition()  # type: ignore[assignment]
+        try:
+            service._ensure_open()
+            assert len(acquisitions) == 1
+            service.health()
+            assert len(acquisitions) == 2
+        finally:
+            service._lifecycle = inner
+            service.close()
+
+    def test_ensure_open_is_reentrant_under_the_lifecycle_lock(self, bundle_dir):
+        import threading
+
+        # _track() calls _ensure_open() while already holding _lifecycle;
+        # Condition's default RLock makes the nested acquire legal.  Probe
+        # from a thread so a regression to a plain Lock fails the test
+        # instead of hanging the suite.
+        with AnnotationService.load(bundle_dir) as service:
+            done = threading.Event()
+
+            def probe() -> None:
+                with service._lifecycle:
+                    service._ensure_open()
+                done.set()
+
+            thread = threading.Thread(target=probe, daemon=True)
+            thread.start()
+            assert done.wait(10.0), (
+                "_ensure_open deadlocked while the lifecycle lock was held"
+            )

@@ -143,7 +143,9 @@ _DOCUMENTS = [
     ("d4", "crimson horizon drama film"),
     ("d5", "wilfred blackburn cricketer stonefield"),
 ]
-_INDEX = BM25Index.build(_DOCUMENTS)
+# Oracle-parity tests pin float64: the scalar score() oracle accumulates in
+# float64, so the compiled postings must match its precision exactly.
+_INDEX = BM25Index.build(_DOCUMENTS, dtype=np.float64)
 
 
 class TestBM25Properties:

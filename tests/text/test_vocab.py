@@ -13,7 +13,7 @@ class TestSpecialTokens:
         assert tokens.as_tuple() == ("[PAD]", "[UNK]", "[CLS]", "[SEP]", "[MASK]")
 
     def test_frozen(self):
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):
             SpecialTokens().pad = "[X]"
 
 
