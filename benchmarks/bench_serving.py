@@ -18,7 +18,13 @@ one event loop:
   Per rate the run records throughput, goodput, shed/expired rates and the
   p50/p99 of successful answers — at 2× the gateway must shed with typed
   503/504s while every request still gets an answer (``answered_rate`` is
-  gated at 1.0 in CI).
+  gated at 1.0 in CI);
+* **fleet tier**: the same closed loop against a 2-replica
+  ``repro.fleet`` deployment (worker processes behind the gateway) of the
+  same bundle — ``fleet.scaling_2_replicas`` is fleet throughput over the
+  single-process capacity, and a second warmed pass measures the shared
+  results cache's hit path (``fleet.cache_hit_p50_ms`` and the
+  miss-over-hit ``fleet.cache_hit_speedup``).
 
 Results go to JSON (``scripts/run_benchmarks.sh`` commits them as
 ``BENCH_serving.json``); ``scripts/check_bench_regression.py`` gates the
@@ -35,6 +41,7 @@ import argparse
 import asyncio
 import itertools
 import json
+import tempfile
 import time
 from datetime import datetime, timezone
 
@@ -71,7 +78,7 @@ def build_service(seed: int, n_tables: int, max_batch: int):
     annotator.fit(train)
     service = annotator.into_service(max_batch=max_batch)
     service.annotate_batch(serve_tables)  # warm the Part-1 cache
-    return service, serve_tables
+    return service, serve_tables, annotator
 
 
 def payload_of(table) -> dict:
@@ -196,6 +203,79 @@ async def open_loop(port: int, payloads: list[dict], rate_rps: float,
 
 
 # --------------------------------------------------------------------------- #
+# fleet tier: 2 worker processes behind the gateway, shared results cache
+# --------------------------------------------------------------------------- #
+def bench_fleet(bundle_dir, payloads: list[dict], *, replicas: int,
+                max_batch: int, max_wait_ms: float,
+                service_max_batch: int) -> dict:
+    """Closed-loop capacity of a process-replica fleet, plus the cache hit path.
+
+    Two passes over the same bundle: one with the shared results cache
+    disabled (``maxsize=0``) so every request travels the wire to a replica
+    — the fan-out scaling number — and one with the cache warmed so the
+    measured loop is answered from router memory — the hit-path latency.
+    """
+    from repro.fleet import (
+        FleetRouter,
+        ProcessLauncher,
+        ReplicaSupervisor,
+        SharedResultsCache,
+    )
+
+    def fleet_router(cache_size: int) -> FleetRouter:
+        launcher = ProcessLauncher(
+            bundle_dir, service_kwargs={"max_batch": service_max_batch}
+        )
+        supervisor = ReplicaSupervisor(launcher, replicas,
+                                       heartbeat_interval_s=60.0)
+        supervisor.start()
+        return FleetRouter(supervisor,
+                           cache=SharedResultsCache(maxsize=cache_size),
+                           max_batch=max_batch, own_supervisor=True)
+
+    config = GatewayConfig(port=0, max_batch=max_batch,
+                           max_wait_ms=max_wait_ms,
+                           max_concurrent_batches=2, default_deadline_ms=0.0)
+
+    async def measure(router) -> dict:
+        async with Gateway(router, config) as gateway:
+            await closed_loop(gateway.port, payloads, len(payloads))  # warm-up
+            return await closed_loop(gateway.port, payloads,
+                                     12 * len(payloads))
+
+    # Miss path: every request is annotated by a replica.
+    router = fleet_router(0)
+    try:
+        nocache = asyncio.run(measure(router))
+    finally:
+        router.close()
+
+    # Hit path: the warm-up pass fills the shared cache; the measured loop
+    # is (re-)answered from router memory without touching a replica.
+    router = fleet_router(4096)
+    try:
+        cached = asyncio.run(measure(router))
+        cache_stats = router.stats().results_cache
+    finally:
+        router.close()
+
+    return {
+        "replicas": replicas,
+        "tables_per_second": nocache["tables_per_second"],
+        "p50_ms": nocache["p50_ms"],
+        "p99_ms": nocache["p99_ms"],
+        "cache_hit_tables_per_second": cached["tables_per_second"],
+        "cache_hit_p50_ms": cached["p50_ms"],
+        "cache_hit_p99_ms": cached["p99_ms"],
+        "cache_hits": cache_stats["hits"],
+        # Miss-path p50 over hit-path p50: what the shared cache buys.
+        "cache_hit_speedup": round(
+            nocache["p50_ms"] / max(cached["p50_ms"], 1e-6), 2
+        ),
+    }
+
+
+# --------------------------------------------------------------------------- #
 async def run_benchmark(service, serve_tables, *, max_batch: int,
                         max_wait_ms: float, seconds_per_rate: float) -> dict:
     payloads = [payload_of(table) for table in serve_tables]
@@ -260,14 +340,16 @@ def main() -> None:
     parser.add_argument("--max-wait-ms", type=float, default=4.0)
     parser.add_argument("--seconds-per-rate", type=float, default=6.0,
                         help="target duration of each open-loop overload run")
+    parser.add_argument("--replicas", type=int, default=2,
+                        help="fleet-tier worker processes (0 skips the fleet run)")
     parser.add_argument("--output", type=str, default=None,
                         help="write results JSON here (default: stdout only)")
     args = parser.parse_args()
 
     print(f"training the tiny serving stack (seed={args.seed}, "
           f"{args.n_tables} serve tables)...", flush=True)
-    service, serve_tables = build_service(args.seed, args.n_tables,
-                                          args.max_batch)
+    service, serve_tables, annotator = build_service(args.seed, args.n_tables,
+                                                     args.max_batch)
     try:
         gateway_metrics = asyncio.run(run_benchmark(
             service, serve_tables, max_batch=args.max_batch,
@@ -277,6 +359,30 @@ def main() -> None:
     finally:
         service.close()
 
+    fleet_metrics = None
+    if args.replicas > 0:
+        from repro.serve import ServiceBundle
+
+        print(f"fleet tier: {args.replicas} worker processes...", flush=True)
+        with tempfile.TemporaryDirectory(prefix="bench-fleet-") as tmp:
+            bundle_dir = ServiceBundle.from_annotator(annotator).save(
+                f"{tmp}/svc"
+            )
+            fleet_metrics = bench_fleet(
+                bundle_dir, [payload_of(table) for table in serve_tables],
+                replicas=args.replicas, max_batch=args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                service_max_batch=args.max_batch,
+            )
+        # Fleet throughput over the single-process gateway's capacity on
+        # the same bundle.  On a single-core runner the replicas share one
+        # core and this sits near (or below) 1.0 — the CI gate is wide for
+        # exactly that reason; see scripts/check_bench_regression.py.
+        fleet_metrics[f"scaling_{args.replicas}_replicas"] = round(
+            fleet_metrics["tables_per_second"]
+            / gateway_metrics["capacity_tables_per_second"], 2
+        )
+
     results = {
         "generated_utc": datetime.now(timezone.utc).isoformat(),
         "config": {
@@ -285,9 +391,12 @@ def main() -> None:
             "max_batch": args.max_batch,
             "max_wait_ms": args.max_wait_ms,
             "seconds_per_rate": args.seconds_per_rate,
+            "replicas": args.replicas,
         },
         "gateway": gateway_metrics,
     }
+    if fleet_metrics is not None:
+        results["fleet"] = fleet_metrics
     payload = json.dumps(results, indent=2)
     print(payload)
     if args.output:

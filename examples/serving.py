@@ -22,7 +22,12 @@ The serving-first flow introduced by ``repro.serve``:
 8. put the async HTTP gateway (``repro.gateway``) in front and fire mixed
    ``X-Deadline-Ms`` traffic at it: requests with room coalesce into
    shared micro-batches, hopeless budgets are refused with typed 504s,
-   and the accounting proves nothing was silently dropped.
+   and the accounting proves nothing was silently dropped;
+9. replicate the tier (``repro.fleet``): two worker *processes* each load
+   the same bundle behind one gateway — a supervisor keeps them alive, a
+   router picks the least-loaded replica per batch, and a shared results
+   cache answers repeat tables from router memory (the second pass of the
+   same traffic never touches a replica).
 
 Run with::
 
@@ -39,6 +44,7 @@ from pathlib import Path
 
 from repro.core import KGLinkAnnotator, KGLinkConfig
 from repro.data import SemTabConfig, SemTabGenerator, stratified_split
+from repro.fleet import FleetRouter, ProcessLauncher, ReplicaSupervisor
 from repro.gateway import DEADLINE_HEADER, Gateway, GatewayConfig, HttpConnection
 from repro.kg import KGWorldConfig, build_default_kg
 from repro.runtime import (
@@ -155,6 +161,20 @@ def main() -> None:
           "(mixed-deadline traffic) ...")
     asyncio.run(gateway_demo(bundle_dir, tables, predictions))
 
+    print("10) replicating the tier: 2 worker processes behind one gateway ...")
+    launcher = ProcessLauncher(bundle_dir, service_kwargs={"max_batch": 16})
+    supervisor = ReplicaSupervisor(launcher, replicas=2)
+    supervisor.start()
+    router = FleetRouter(supervisor, own_supervisor=True)
+    try:
+        asyncio.run(fleet_demo(router, tables, predictions))
+    finally:
+        # Graceful drain: the router drains its dispatches, then the
+        # supervisor SIGTERMs both replicas and waits for them to exit.
+        router.close()
+    assert supervisor.stats()["up"] == 0
+    print("    drained: both replicas terminated, accounting balanced")
+
 
 async def gateway_demo(bundle_dir: Path, tables, predictions) -> None:
     """Step 9: the overload-safe HTTP tier under mixed-deadline traffic."""
@@ -215,6 +235,72 @@ async def gateway_demo(bundle_dir: Path, tables, predictions) -> None:
     # Gateway.__aexit__ drained in flight and (close_service left False)
     # the service is still ours to close.
     service.close()
+
+
+async def fleet_demo(router: FleetRouter, tables, predictions) -> None:
+    """Step 10: mixed-deadline traffic at a 2-replica fleet, then the same
+    traffic again so the shared results cache answers from router memory."""
+    payloads = [
+        {"table_id": table.table_id,
+         "columns": [{"name": column.name, "cells": list(column.cells)}
+                     for column in table.columns]}
+        for table in tables
+    ]
+    async with Gateway(router, GatewayConfig(
+        port=0, max_wait_ms=5.0, default_deadline_ms=0.0,
+    )) as gateway:
+        members = router.health().replicas
+        print(f"   listening on 127.0.0.1:{gateway.port}; replicas: "
+              + ", ".join(sorted(members)))
+
+        async def fire(index: int, budget_ms: float) -> tuple[int, float, int]:
+            async with await HttpConnection.open(
+                "127.0.0.1", gateway.port
+            ) as connection:
+                start = time.perf_counter()
+                response = await connection.request(
+                    "POST", "/annotate",
+                    json_body=payloads[index % len(payloads)],
+                    headers={DEADLINE_HEADER: f"{budget_ms:g}"},
+                )
+            if response.status == 200:
+                got = response.json()["predictions"]
+                want = predictions[index % len(payloads)]
+                assert got == want, "fleet answers must be bitwise-identical"
+            return response.status, (time.perf_counter() - start) * 1e3, index
+
+        async def wave() -> list[tuple[int, float, int]]:
+            # The same mix as step 9: three generous budgets, one hopeless.
+            return await asyncio.gather(*[
+                fire(index, 0.5 if index % 4 == 3 else 30_000.0)
+                for index in range(32)
+            ])
+
+        first = await wave()
+        second = await wave()
+        for label, outcomes in (("cold", first), ("warm", second)):
+            statuses = [status for status, _, _ in outcomes]
+            ok_ms = sorted(ms for status, ms, _ in outcomes if status == 200)
+            assert all(status in (200, 503, 504) for status in statuses)
+            summary = "  ".join(
+                f"{status}×{statuses.count(status)}"
+                for status in sorted(set(statuses))
+            )
+            print(f"   {label} pass: {summary}; successful p50 "
+                  f"{ok_ms[len(ok_ms) // 2]:.1f} ms")
+
+        stats = router.stats()
+        cache = stats.results_cache
+        print(f"   routing: {stats.dispatches} replica dispatches for "
+              f"{stats.requests} requests; shared cache "
+              f"{cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses"
+              f" / {cache.get('coalesced', 0)} coalesced — the warm pass "
+              "was answered from router memory")
+        fleet = stats.supervisor
+        print(f"   supervisor: spawned={fleet.get('spawned', 0)} "
+              f"up={fleet.get('up', 0)} restarts={fleet.get('restarts', 0)} "
+              f"(spawned == replicas + restarts)")
+        assert router.health().status == "healthy"
 
 
 if __name__ == "__main__":

@@ -128,6 +128,23 @@ SERVING_METRICS = [
     # still keeps p99 well under the deadline itself.
     Metric("gateway.overload_x0_5.p99_over_deadline", higher_is_better=False,
            is_ratio=True, max_regression=3.0),
+    # Fleet tier (repro.fleet): 2 worker processes behind the gateway on the
+    # same bundle.  Absolute numbers are machine-local as usual; the two
+    # ratios below are the CI gate.
+    Metric("fleet.tables_per_second", higher_is_better=True, is_ratio=False),
+    Metric("fleet.cache_hit_p50_ms", higher_is_better=False, is_ratio=False),
+    # Fleet throughput over the single-process gateway's capacity.  CAVEAT:
+    # hosted CI runners are effectively single-core, so the two replicas
+    # share one core and this ratio sits near 1.0 rather than near 2.0 —
+    # the wide allowance gates only collapse (routing serialization, lost
+    # overlap, a replica silently out of rotation), not sub-linear scaling.
+    Metric("fleet.scaling_2_replicas", higher_is_better=True, is_ratio=True,
+           max_regression=0.5),
+    # Shared-results-cache hit path: miss-path p50 over hit-path p50 within
+    # the same run.  A cached table must stay much cheaper than a replica
+    # dispatch; the allowance covers loopback jitter, not a broken cache.
+    Metric("fleet.cache_hit_speedup", higher_is_better=True, is_ratio=True,
+           max_regression=0.5),
 ]
 
 

@@ -1,23 +1,28 @@
-"""The shipped rules: five machine-checked invariants of this codebase.
+"""The shipped rules: six machine-checked invariants of this codebase.
 
 Each rule encodes a convention that earlier PRs established in prose and
 tests.  The codes are stable (they appear in waivers and CI logs); the
 kebab-case names are accepted in waivers interchangeably.
 
-==========  ======================  =============================================
-code        name                    invariant
-==========  ======================  =============================================
-``REP101``  lock-discipline         attributes declared ``# guarded-by: <lock>``
-                                    are only touched inside ``with self.<lock>:``
-``REP102``  no-blocking-in-async    ``async def`` bodies in the gateway never
-                                    call known-blocking APIs directly
-``REP103``  monotonic-deadlines     deadline-bearing layers never read the wall
-                                    clock (``time.time`` / ``datetime.now``)
-``REP104``  typed-errors            no ``raise Exception``; broad ``except``
-                                    handlers re-raise or carry a waiver
-``REP105``  seeded-rng              every random stream is explicitly seeded
-                                    (bitwise reproducibility)
-==========  ======================  =============================================
+==========  =========================  ==========================================
+code        name                       invariant
+==========  =========================  ==========================================
+``REP101``  lock-discipline            attributes declared ``# guarded-by:
+                                       <lock>`` are only touched inside
+                                       ``with self.<lock>:``
+``REP102``  no-blocking-in-async       ``async def`` bodies in the gateway never
+                                       call known-blocking APIs directly
+``REP103``  monotonic-deadlines        deadline-bearing layers never read the
+                                       wall clock (``time.time`` /
+                                       ``datetime.now``)
+``REP104``  typed-errors               no ``raise Exception``; broad ``except``
+                                       handlers re-raise or carry a waiver
+``REP105``  seeded-rng                 every random stream is explicitly seeded
+                                       (bitwise reproducibility)
+``REP106``  socket-timeout-discipline  every socket connect/accept in the fleet
+                                       and gateway carries an explicit timeout
+                                       or deadline
+==========  =========================  ==========================================
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ __all__ = [
     "MonotonicDeadlinesRule",
     "TypedErrorsRule",
     "SeededRngRule",
+    "SocketTimeoutRule",
 ]
 
 _GUARDED_BY_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
@@ -232,7 +238,9 @@ class MonotonicDeadlinesRule(Rule):
         "time.time()/datetime.now() are banned where Deadline math requires "
         "time.monotonic()"
     )
-    modules: ClassVar[tuple[str, ...]] = ("repro.runtime", "repro.gateway")
+    modules: ClassVar[tuple[str, ...]] = (
+        "repro.runtime", "repro.gateway", "repro.fleet",
+    )
 
     BANNED = frozenset({
         "time.time", "time.localtime", "time.gmtime", "time.ctime",
@@ -446,3 +454,142 @@ class SeededRngRule(Rule):
                 return (f"'{dotted}' uses the stdlib global RNG; use a seeded "
                         "random.Random(seed) instance")
         return None
+
+
+@register_rule
+class SocketTimeoutRule(Rule):
+    """Every socket connect/accept in the fleet and gateway is bounded.
+
+    The fleet serves over real loopback sockets, and an unbounded socket
+    operation is a hung replica the supervisor cannot distinguish from a
+    slow one.  The convention (established by :mod:`repro.fleet.wire`):
+    every potentially-blocking rendezvous carries an explicit budget.
+    Three spellings are checked:
+
+    * ``socket.create_connection(addr)`` must pass a ``timeout`` — as the
+      keyword or the second positional argument — normally computed from
+      the caller's absolute monotonic deadline;
+    * ``<sock>.connect(...)`` / ``<listener>.accept(...)`` must have a
+      lexically visible ``<sock>.settimeout(...)`` on the *same receiver* —
+      in the enclosing function for local names, anywhere in the enclosing
+      class for ``self.<attr>`` receivers (binding in ``start()``, accepting
+      in ``serve_forever()`` is the normal split);
+    * ``asyncio.open_connection(...)`` must sit inside the arguments of an
+      ``asyncio.wait_for(...)`` — the event-loop equivalent of a connect
+      timeout.
+
+    The check is lexical, like REP101: it proves the timeout *spelling* is
+    present, not that the value is finite — ``settimeout(None)`` would
+    still pass.  It exists to catch the common mistake: a new dial or
+    accept loop added without any budget at all.
+    """
+
+    code: ClassVar[str] = "REP106"
+    name: ClassVar[str] = "socket-timeout-discipline"
+    description: ClassVar[str] = (
+        "socket connect/accept calls in repro.fleet and repro.gateway must "
+        "carry an explicit timeout (settimeout/timeout=/asyncio.wait_for)"
+    )
+    modules: ClassVar[tuple[str, ...]] = ("repro.fleet", "repro.gateway")
+
+    GUARDED_METHODS = frozenset({"connect", "accept"})
+
+    def check(self, context: ModuleContext) -> Iterator[Finding]:
+        protected = self._wait_for_descendants(context.tree)
+        yield from self._scan(context, context.tree, frozenset(), frozenset(),
+                              protected)
+
+    # ------------------------------------------------------------------ #
+    def _wait_for_descendants(self, tree: ast.Module) -> frozenset[int]:
+        """ids of nodes nested inside ``asyncio.wait_for(...)`` arguments."""
+        protected: set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in ("asyncio.wait_for", "wait_for"):
+                continue
+            arguments = list(node.args) + [kw.value for kw in node.keywords]
+            for argument in arguments:
+                protected.update(id(child) for child in ast.walk(argument))
+        return frozenset(protected)
+
+    def _settimeout_receivers(self, node: ast.AST) -> set[str]:
+        """Dotted receivers of every ``<receiver>.settimeout(...)`` under
+        ``node`` (``conn`` from ``conn.settimeout(0.2)``, ``self._listener``
+        from ``self._listener.settimeout(...)``)."""
+        receivers: set[str] = set()
+        for child in ast.walk(node):
+            if (isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "settimeout"):
+                receiver = dotted_name(child.func.value)
+                if receiver is not None:
+                    receivers.add(receiver)
+        return receivers
+
+    def _scan(self, context: ModuleContext, node: ast.AST,
+              visible: frozenset[str], self_receivers: frozenset[str],
+              protected: frozenset[int]) -> Iterator[Finding]:
+        if isinstance(node, ast.ClassDef):
+            in_class = frozenset(
+                receiver for receiver in self._settimeout_receivers(node)
+                if receiver.startswith("self.")
+            )
+            for child in ast.iter_child_nodes(node):
+                yield from self._scan(context, child, visible, in_class,
+                                      protected)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            local = frozenset(
+                receiver for receiver in self._settimeout_receivers(node)
+                if not receiver.startswith("self.")
+            )
+            inner = visible | local
+            for child in ast.iter_child_nodes(node):
+                yield from self._scan(context, child, inner, self_receivers,
+                                      protected)
+            return
+        if isinstance(node, ast.Call):
+            yield from self._check_call(context, node, visible,
+                                        self_receivers, protected)
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(context, child, visible, self_receivers,
+                                  protected)
+
+    def _check_call(self, context: ModuleContext, call: ast.Call,
+                    visible: frozenset[str], self_receivers: frozenset[str],
+                    protected: frozenset[int]) -> Iterator[Finding]:
+        dotted = dotted_name(call.func)
+        if dotted in ("socket.create_connection", "create_connection"):
+            bounded = (len(call.args) >= 2
+                       or any(kw.arg == "timeout" for kw in call.keywords))
+            if not bounded:
+                yield self.finding(
+                    context, call,
+                    f"'{dotted}(...)' without a timeout can hang the caller "
+                    "forever; pass timeout= computed from the deadline",
+                )
+            return
+        if dotted in ("asyncio.open_connection", "open_connection"):
+            if id(call) not in protected:
+                yield self.finding(
+                    context, call,
+                    f"'{dotted}(...)' has no connect budget; wrap it in "
+                    "asyncio.wait_for(..., timeout=...)",
+                )
+            return
+        if (isinstance(call.func, ast.Attribute)
+                and call.func.attr in self.GUARDED_METHODS):
+            receiver = dotted_name(call.func.value)
+            if receiver is None:
+                return
+            bounded = (receiver in visible
+                       or (receiver.startswith("self.")
+                           and receiver in self_receivers))
+            if not bounded:
+                yield self.finding(
+                    context, call,
+                    f"'{receiver}.{call.func.attr}(...)' has no lexically "
+                    f"visible '{receiver}.settimeout(...)'; every socket "
+                    "connect/accept must carry an explicit timeout",
+                )

@@ -25,6 +25,11 @@ detects into one of these classes, so operators and tests can route on type:
 * :class:`GatewayOverloaded` — the serving gateway shed the request before
   running it (intake queue full, or the gateway is draining).  The request
   did no work; the caller should back off and retry (HTTP 503 +
+  ``Retry-After``);
+* :class:`ReplicaUnavailable` — a fleet replica could not be reached over
+  the wire (connection refused/reset, mid-frame EOF), or every replica was
+  tried and none could serve the batch.  Transient by construction: the
+  supervisor respawns dead replicas, so the caller should retry (HTTP 503 +
   ``Retry-After``).
 
 This module is intentionally dependency-free so the runtime, retrieval and
@@ -42,6 +47,7 @@ __all__ = [
     "BundleCorrupted",
     "ServiceClosed",
     "GatewayOverloaded",
+    "ReplicaUnavailable",
 ]
 
 
@@ -75,3 +81,7 @@ class ServiceClosed(ServingError):
 
 class GatewayOverloaded(ServingError):
     """The gateway shed the request (queue full or draining); retry later."""
+
+
+class ReplicaUnavailable(ServingError):
+    """A fleet replica (or the whole fleet) is unreachable; retry later."""

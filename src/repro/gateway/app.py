@@ -19,9 +19,12 @@ made *failure* one.  The pieces, front to back:
   ``BreakerOpen`` → 503 with ``Retry-After``, ``ServiceClosed`` → 410,
   ``BundleCorrupted`` → 500 — so clients route on status the way in-process
   callers route on type;
-* ``GET /healthz`` surfaces :meth:`~repro.serve.service.AnnotationService.health`,
-  ``GET /stats`` the gateway + service counters, ``GET /metrics`` the same
-  numbers in Prometheus text exposition format;
+* ``GET /healthz`` surfaces the service's ``health()`` — a single
+  :meth:`~repro.serve.service.AnnotationService.health` snapshot, or (with a
+  :class:`~repro.fleet.router.FleetRouter` in the service seat) the fleet's
+  aggregated per-replica view; ``GET /stats`` the gateway + service
+  counters, ``GET /metrics`` the same numbers in Prometheus text exposition
+  format;
 * :meth:`Gateway.shutdown` (wired to ``SIGTERM``/``SIGINT`` by
   :meth:`Gateway.serve_forever`) drains gracefully: stop intake, answer
   everything already admitted, then — optionally — close the service.
@@ -45,6 +48,7 @@ from repro.core.errors import (
     BundleCorrupted,
     DeadlineExceeded,
     GatewayOverloaded,
+    ReplicaUnavailable,
     ServiceClosed,
     ServingError,
 )
@@ -105,8 +109,8 @@ def status_for(error: BaseException) -> int:
     """Map the typed serving taxonomy onto HTTP statuses."""
     if isinstance(error, DeadlineExceeded):
         return 504
-    if isinstance(error, (GatewayOverloaded, BreakerOpen)):
-        return 503
+    if isinstance(error, (GatewayOverloaded, BreakerOpen, ReplicaUnavailable)):
+        return 503  # transient; 503 + Retry-After tells clients to back off
     if isinstance(error, ServiceClosed):
         return 410
     if isinstance(error, BundleCorrupted):

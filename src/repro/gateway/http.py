@@ -218,8 +218,13 @@ class HttpConnection:
         self._writer = writer
 
     @classmethod
-    async def open(cls, host: str, port: int) -> HttpConnection:
-        reader, writer = await asyncio.open_connection(host, port)
+    async def open(cls, host: str, port: int, *,
+                   connect_timeout_s: float = 5.0) -> HttpConnection:
+        # A bounded dial (REP106): a gateway that is wedged mid-start must
+        # fail the client fast, not hang its event loop on connect.
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=connect_timeout_s
+        )
         return cls(reader, writer)
 
     async def request(self, method: str, path: str, *,

@@ -19,6 +19,7 @@ support so the layers read naturally.
 from __future__ import annotations
 
 import contextlib
+import threading
 from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
@@ -38,9 +39,19 @@ __all__ = [
     "set_default_dtype",
 ]
 
-# Global switch mirroring ``torch.no_grad``: while disabled, operations do not
-# record the computation graph, which makes inference cheap.
-_GRAD_ENABLED = True
+# Switch mirroring ``torch.no_grad``: while disabled, operations do not
+# record the computation graph, which makes inference cheap.  Thread-local
+# (like torch's grad mode) so a serving thread running inference under
+# ``no_grad`` cannot race a training thread's graph construction — with a
+# process-wide flag, two overlapping ``no_grad`` blocks on different
+# threads can interleave save/restore and leave gradients off for good.
+
+
+class _GradMode(threading.local):
+    enabled = True
+
+
+_GRAD_MODE = _GradMode()
 
 _ALLOWED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -146,20 +157,23 @@ def accumulation_dtype(dtype) -> np.dtype:
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether new operations record gradients in this thread."""
+    return _GRAD_MODE.enabled
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager disabling graph construction (inference mode).
+
+    The switch is per-thread: disabling gradients on a serving thread does
+    not affect a concurrently training one.
+    """
+    previous = _GRAD_MODE.enabled
+    _GRAD_MODE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_MODE.enabled = previous
 
 
 def get_default_dtype() -> np.dtype:
@@ -227,7 +241,7 @@ class Tensor:
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data: np.ndarray = _as_array(data)
-        self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad: bool = bool(requires_grad) and _GRAD_MODE.enabled
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -312,7 +326,7 @@ class Tensor:
         # Call sites guard this already (to skip closure creation entirely on
         # the inference fast path); the re-check keeps the old contract — an
         # unguarded op loses only the fast path, never tracks grads wrongly.
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if _GRAD_MODE.enabled and any(p.requires_grad for p in parents):
             child.requires_grad = True
             child._parents = tuple(parents)
             child._backward = backward
@@ -332,7 +346,7 @@ class Tensor:
     def __add__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data + other.data
-        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+        if not (_GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -344,7 +358,7 @@ class Tensor:
     __radd__ = __add__
 
     def __neg__(self) -> Tensor:
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(-self.data)
 
         def backward(grad: np.ndarray) -> None:
@@ -361,7 +375,7 @@ class Tensor:
     def __mul__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data * other.data
-        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+        if not (_GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -375,7 +389,7 @@ class Tensor:
     def __truediv__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data / other.data
-        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+        if not (_GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -393,7 +407,7 @@ class Tensor:
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data**exponent
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -404,7 +418,7 @@ class Tensor:
     def __matmul__(self, other) -> Tensor:
         other = self._ensure(other)
         out_data = self.data @ other.data
-        if not (_GRAD_ENABLED and (self.requires_grad or other.requires_grad)):
+        if not (_GRAD_MODE.enabled and (self.requires_grad or other.requires_grad)):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -422,7 +436,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> Tensor:
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -444,7 +458,7 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> Tensor:
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -464,7 +478,7 @@ class Tensor:
             shape = tuple(shape[0])
         original_shape = self.data.shape
         out_data = self.data.reshape(shape)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -478,7 +492,7 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         out_data = self.data.transpose(axes)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
         inverse = np.argsort(axes)
 
@@ -504,7 +518,7 @@ class Tensor:
         if size % chunks != 0:
             raise ValueError(f"axis of size {size} is not divisible into {chunks} chunks")
         step = size // chunks
-        track = _GRAD_ENABLED and self.requires_grad
+        track = _GRAD_MODE.enabled and self.requires_grad
         outputs: list[Tensor] = []
         for start in range(0, size, step):
             index = [slice(None)] * self.data.ndim
@@ -529,7 +543,7 @@ class Tensor:
 
     def __getitem__(self, index) -> Tensor:
         out_data = self.data[index]
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -544,7 +558,7 @@ class Tensor:
     # ------------------------------------------------------------------ #
     def exp(self) -> Tensor:
         out_data = np.exp(self.data)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -554,7 +568,7 @@ class Tensor:
 
     def log(self) -> Tensor:
         out_data = np.log(self.data)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -567,7 +581,7 @@ class Tensor:
 
     def tanh(self) -> Tensor:
         out_data = np.tanh(self.data)
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -576,7 +590,7 @@ class Tensor:
         return self._make_child(out_data, (self,), backward)
 
     def relu(self) -> Tensor:
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(np.maximum(self.data, 0.0))
         mask = (self.data > 0).astype(self.data.dtype)
         out_data = self.data * mask
@@ -588,7 +602,7 @@ class Tensor:
 
     def sigmoid(self) -> Tensor:
         out_data = 1.0 / (1.0 + np.exp(-self.data))
-        if not (_GRAD_ENABLED and self.requires_grad):
+        if not (_GRAD_MODE.enabled and self.requires_grad):
             return Tensor._result(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -668,7 +682,7 @@ class Tensor:
         datas = [t.data for t in tensors]
         out_data = np.concatenate(datas, axis=axis)
         child = Tensor._result(out_data)
-        if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+        if not (_GRAD_MODE.enabled and any(t.requires_grad for t in tensors)):
             return child
         sizes = [d.shape[axis] for d in datas]
         offsets = np.cumsum([0] + sizes)
@@ -689,7 +703,7 @@ class Tensor:
         tensors = list(tensors)
         out_data = np.stack([t.data for t in tensors], axis=axis)
         child = Tensor._result(out_data)
-        if not (_GRAD_ENABLED and any(t.requires_grad for t in tensors)):
+        if not (_GRAD_MODE.enabled and any(t.requires_grad for t in tensors)):
             return child
 
         def backward(grad: np.ndarray) -> None:

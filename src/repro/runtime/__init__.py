@@ -28,8 +28,9 @@ from repro.runtime.executor import (
     default_worker_count,
     register_executor,
 )
-from repro.runtime.faults import FaultPlan, FaultRule, FaultyExecutor
+from repro.runtime.faults import FaultPlan, FaultRule, FaultyEndpoint, FaultyExecutor
 from repro.runtime.resilience import (
+    Backoff,
     CircuitBreaker,
     ResilienceStats,
     ResilientExecutor,
@@ -46,10 +47,12 @@ __all__ = [
     "available_executors",
     "default_worker_count",
     "RuntimePolicy",
+    "Backoff",
     "CircuitBreaker",
     "ResilienceStats",
     "ResilientExecutor",
     "FaultPlan",
     "FaultRule",
     "FaultyExecutor",
+    "FaultyEndpoint",
 ]

@@ -13,7 +13,16 @@ failure mode a first-class, reproducible test input instead:
   the scripted error (a ``crash`` rule raises ``BrokenProcessPool``, exactly
   what a dead worker produces) or calls the injectable ``sleep`` — so no real
   process dies, no wall clock elapses, and the wrapped executor can even be a
-  plain :class:`~repro.runtime.executor.SerialExecutor`.
+  plain :class:`~repro.runtime.executor.SerialExecutor`;
+* :class:`FaultyEndpoint` — the same idea one tier up, at the fleet's wire
+  boundary: it wraps a replica endpoint (anything with
+  ``request(op, payload, deadline_s=...)`` and ``close()``, i.e.
+  :class:`~repro.fleet.wire.ReplicaClient`) and consults the plan before
+  each request under the task key ``(replica_name, op)``.  A scripted
+  ``ConnectionResetError`` or
+  :class:`~repro.core.errors.ReplicaUnavailable` is indistinguishable from
+  a replica dying mid-batch as the router sees it, so the fleet chaos suite
+  exercises worker death and failover without killing a real process.
 
 Because faults fire at the boundary rather than inside task functions,
 nothing extra has to be picklable and the same plan drives all three
@@ -31,7 +40,7 @@ from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
 from typing import Any, ClassVar
 
-__all__ = ["FaultRule", "FaultPlan", "FaultyExecutor"]
+__all__ = ["FaultRule", "FaultPlan", "FaultyExecutor", "FaultyEndpoint"]
 
 
 @dataclass
@@ -224,3 +233,38 @@ class FaultyExecutor:
 
     def __exit__(self, *exc_info):
         self.close()
+
+
+class FaultyEndpoint:
+    """Inject a :class:`FaultPlan` at the fleet's wire boundary.
+
+    Duck-types the replica endpoint surface the
+    :class:`~repro.fleet.router.FleetRouter` dispatches through.  Before
+    each request the plan is consulted with the task ``(name, op)`` — so a
+    rule can target one replica's ``annotate_batch`` calls specifically,
+    e.g.::
+
+        plan = FaultPlan().fail(ConnectionResetError("replica died"),
+                                match=lambda t: t == ("replica-0", "annotate_batch"))
+
+    A firing ``error``/``crash`` rule raises before any bytes move, which is
+    exactly what the router observes when a replica dies mid-batch; a
+    ``delay`` rule stalls the request on the injectable ``sleep``.  Requests
+    the plan lets through hit the real replica, so predictions stay
+    bitwise-identical to an unfaulted run.
+    """
+
+    def __init__(self, inner, plan: FaultPlan, *, name: str | None = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._inner = inner
+        self.plan = plan
+        self.name = name if name is not None else getattr(inner, "name", "endpoint")
+        self._sleep = sleep
+
+    def request(self, op: str, payload: Any = None, *,
+                deadline_s: float | None = None) -> Any:
+        self.plan.apply((self.name, op), sleep=self._sleep)
+        return self._inner.request(op, payload, deadline_s=deadline_s)
+
+    def close(self) -> None:
+        self._inner.close()

@@ -42,6 +42,7 @@ from repro.core.errors import BreakerOpen, DeadlineExceeded, WorkerCrashed
 
 __all__ = [
     "RuntimePolicy",
+    "Backoff",
     "CircuitBreaker",
     "ResilienceStats",
     "ResilientExecutor",
@@ -100,6 +101,33 @@ class RuntimePolicy:
         """Rebuild a policy, ignoring unknown keys (forward compatibility)."""
         known = {f for f in cls.__dataclass_fields__}
         return cls(**{key: value for key, value in payload.items() if key in known})
+
+
+class Backoff:
+    """The policy's retry spacing as a reusable schedule.
+
+    Attempt *n* (1-based) waits ``min(backoff_max_s, backoff_base_s *
+    2**(n-1))`` scaled by a deterministic jitter factor in ``[0.5, 1.0]``
+    drawn from a ``jitter_seed``-seeded stream.  One instance is one jitter
+    stream: :class:`ResilientExecutor` spaces its retries with one, and the
+    fleet's :class:`~repro.fleet.supervisor.ReplicaSupervisor` spaces replica
+    respawns with another — same policy knobs, same arithmetic, independent
+    streams.  Thread-safe.
+    """
+
+    def __init__(self, policy: RuntimePolicy):
+        self.policy = policy
+        self._rng_lock = threading.Lock()
+        self._rng = random.Random(policy.jitter_seed)  # guarded-by: _rng_lock
+
+    def next_s(self, attempt: int) -> float:
+        """Seconds to wait before attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(self.policy.backoff_max_s,
+                    self.policy.backoff_base_s * (2.0 ** (attempt - 1)))
+        with self._rng_lock:
+            return delay * (0.5 + 0.5 * self._rng.random())
 
 
 class CircuitBreaker:
@@ -292,8 +320,7 @@ class ResilientExecutor:
         self._sleep = sleep
         self._target_of = target_of or (lambda task: "default")
         self.stats = stats or ResilienceStats()
-        self._rng_lock = threading.Lock()
-        self._rng = random.Random(self.policy.jitter_seed)  # guarded-by: _rng_lock
+        self._backoff = Backoff(self.policy)
         self._breakers_lock = threading.Lock()
         self._breakers: dict[Hashable, CircuitBreaker] = {}  # guarded-by: _breakers_lock
 
@@ -365,11 +392,7 @@ class ResilientExecutor:
     # ------------------------------------------------------------------ #
     def backoff_s(self, attempt: int) -> float:
         """Sleep before retry ``attempt`` (1-based): capped exponential + jitter."""
-        policy = self.policy
-        delay = min(policy.backoff_max_s,
-                    policy.backoff_base_s * (2.0 ** (attempt - 1)))
-        with self._rng_lock:
-            return delay * (0.5 + 0.5 * self._rng.random())
+        return self._backoff.next_s(attempt)
 
     def _submit_if_allowed(self, fn, task) -> Future | None:
         """Submit to the inner executor, or ``None`` when the breaker refuses."""

@@ -23,6 +23,10 @@ into something a production process can load and hit with traffic:
   :meth:`~repro.serve.service.AnnotationService.health` reports
   ``healthy`` / ``degraded`` / ``failed`` with reasons
   (:class:`~repro.serve.service.ServiceHealth`).
+* :class:`~repro.serve.replica.ReplicaServer` /
+  :func:`~repro.serve.replica.run_replica` — the fleet worker: one process,
+  one loaded bundle, serving ``annotate_batch`` over the loopback wire
+  protocol for the :mod:`repro.fleet` supervisor and router.
 
 Typical flow::
 
@@ -33,6 +37,7 @@ Typical flow::
 """
 
 from repro.serve.bundle import BUNDLE_FORMAT_VERSION, ServiceBundle
+from repro.serve.replica import ReplicaServer, run_replica
 from repro.serve.service import AnnotationService, ServiceHealth, ServiceStats
 
 __all__ = [
@@ -40,5 +45,7 @@ __all__ = [
     "ServiceBundle",
     "ServiceStats",
     "ServiceHealth",
+    "ReplicaServer",
+    "run_replica",
     "BUNDLE_FORMAT_VERSION",
 ]

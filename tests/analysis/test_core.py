@@ -53,9 +53,10 @@ class TestDottedName:
 
 
 class TestRegistry:
-    def test_five_rules_registered_in_code_order(self):
+    def test_six_rules_registered_in_code_order(self):
         codes = [rule.code for rule in all_rules()]
-        assert codes == ["REP101", "REP102", "REP103", "REP104", "REP105"]
+        assert codes == ["REP101", "REP102", "REP103", "REP104", "REP105",
+                         "REP106"]
 
     def test_rule_codes_accept_names_and_codes(self):
         tokens = rule_codes()

@@ -12,8 +12,10 @@ from repro.analysis.rules import (
     MonotonicDeadlinesRule,
     NoBlockingInAsyncRule,
     SeededRngRule,
+    SocketTimeoutRule,
     TypedErrorsRule,
 )
+from repro.analysis.waivers import parse_waivers
 from tests.analysis.util import parse_snippet, run_rule
 
 
@@ -400,3 +402,155 @@ class TestSeededRng:
                     return self._rng.random()
             """
         assert run_rule(SeededRngRule(), source) == []
+
+
+class TestSocketTimeout:
+    FLEET_PATH = "src/repro/fleet/mod.py"
+
+    VIOLATING = """\
+        import socket
+
+        def dial(address):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.connect(address)  # no settimeout anywhere in scope
+            return sock
+        """
+
+    CLEAN = """\
+        import socket
+
+        def dial(address, deadline_s, clock):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.settimeout(deadline_s - clock())
+            sock.connect(address)
+            return sock
+        """
+
+    def test_unbounded_connect_is_flagged(self):
+        findings = run_rule(SocketTimeoutRule(), self.VIOLATING,
+                            path=self.FLEET_PATH)
+        assert len(findings) == 1
+        assert findings[0].code == "REP106"
+        assert "settimeout" in findings[0].message
+
+    def test_connect_with_settimeout_is_clean(self):
+        assert run_rule(SocketTimeoutRule(), self.CLEAN,
+                        path=self.FLEET_PATH) == []
+
+    def test_rule_is_scoped_to_fleet_and_gateway(self):
+        context = parse_snippet(self.VIOLATING, path="src/repro/serve/mod.py")
+        assert not SocketTimeoutRule().applies_to(context)
+
+    def test_create_connection_without_timeout_is_flagged(self):
+        unbounded = """\
+            import socket
+
+            def dial(address):
+                return socket.create_connection(address)
+            """
+        keyword = """\
+            import socket
+
+            def dial(address, budget_s):
+                return socket.create_connection(address, timeout=budget_s)
+            """
+        positional = """\
+            import socket
+
+            def dial(address, budget_s):
+                return socket.create_connection(address, budget_s)
+            """
+        assert len(run_rule(SocketTimeoutRule(), unbounded,
+                            path=self.FLEET_PATH)) == 1
+        assert run_rule(SocketTimeoutRule(), keyword,
+                        path=self.FLEET_PATH) == []
+        assert run_rule(SocketTimeoutRule(), positional,
+                        path=self.FLEET_PATH) == []
+
+    def test_accept_covered_by_settimeout_in_sibling_method(self):
+        # The replica server's split: bind + settimeout in start(), the
+        # accept loop in serve_forever().  self.* receivers resolve across
+        # the whole class.
+        source = """\
+            import socket
+
+            class Server:
+                def start(self):
+                    self._listener = socket.socket()
+                    self._listener.settimeout(0.2)
+
+                def serve(self):
+                    while True:
+                        conn, _peer = self._listener.accept()
+            """
+        assert run_rule(SocketTimeoutRule(), source,
+                        path=self.FLEET_PATH) == []
+
+    def test_accept_without_any_settimeout_is_flagged(self):
+        source = """\
+            import socket
+
+            class Server:
+                def start(self):
+                    self._listener = socket.socket()
+
+                def serve(self):
+                    conn, _peer = self._listener.accept()
+            """
+        findings = run_rule(SocketTimeoutRule(), source, path=self.FLEET_PATH)
+        assert len(findings) == 1
+        assert "accept" in findings[0].message
+
+    def test_local_settimeout_does_not_leak_across_functions(self):
+        source = """\
+            import socket
+
+            def bounded(sock):
+                sock.settimeout(1.0)
+                sock.connect(("h", 1))
+
+            def unbounded(sock):
+                sock.connect(("h", 1))
+            """
+        findings = run_rule(SocketTimeoutRule(), source, path=self.FLEET_PATH)
+        assert len(findings) == 1
+        assert findings[0].line > 5  # only the second function fires
+
+    def test_open_connection_needs_wait_for(self):
+        bare = """\
+            import asyncio
+
+            async def open(host, port):
+                reader, writer = await asyncio.open_connection(host, port)
+                return reader, writer
+            """
+        wrapped = """\
+            import asyncio
+
+            async def open(host, port):
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout=5.0
+                )
+                return reader, writer
+            """
+        findings = run_rule(SocketTimeoutRule(), bare,
+                            path="src/repro/gateway/mod.py")
+        assert len(findings) == 1
+        assert "wait_for" in findings[0].message
+        assert run_rule(SocketTimeoutRule(), wrapped,
+                        path="src/repro/gateway/mod.py") == []
+
+    def test_waiver_silences_the_finding(self):
+        source = """\
+            import socket
+
+            def dial(address):
+                sock = socket.socket()
+                sock.connect(address)  # repro: allow[REP106] -- test fixture
+                return sock
+            """
+        context = parse_snippet(source, path=self.FLEET_PATH)
+        findings = list(SocketTimeoutRule().check(context))
+        assert len(findings) == 1
+        waivers = parse_waivers(str(context.path), context.comments)
+        assert waivers.lookup("REP106", findings[0].line) is not None

@@ -1,0 +1,254 @@
+"""Wire protocol: frames, deadlines, typed error transport, the client pool."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    ReplicaUnavailable,
+    ServingError,
+    WorkerCrashed,
+)
+from repro.fleet.wire import (
+    MAX_FRAME_BYTES,
+    ReplicaClient,
+    WireClosed,
+    decode_error,
+    encode_error,
+    ping,
+    recv_message,
+    send_message,
+    wait_readable,
+)
+from repro.serve.replica import ReplicaServer
+
+from tests.fleet.util import FakeService, make_tables
+
+
+@pytest.fixture()
+def sock_pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+def far() -> float:
+    return time.monotonic() + 30.0
+
+
+class TestFrames:
+    def test_roundtrip_preserves_python_objects(self, sock_pair):
+        left, right = sock_pair
+        message = {"op": "annotate_batch", "tables": make_tables(3),
+                   "budget_s": 1.5}
+        send_message(left, message, deadline_s=far())
+        assert recv_message(right, deadline_s=far()) == message
+
+    def test_consecutive_frames_stay_in_sync(self, sock_pair):
+        left, right = sock_pair
+        for index in range(5):
+            send_message(left, {"seq": index}, deadline_s=far())
+        for index in range(5):
+            assert recv_message(right, deadline_s=far()) == {"seq": index}
+
+    def test_expired_deadline_raises_before_any_io(self, sock_pair):
+        left, _right = sock_pair
+        with pytest.raises(DeadlineExceeded):
+            send_message(left, {"op": "ping"},
+                         deadline_s=time.monotonic() - 1.0)
+
+    def test_recv_times_out_as_deadline_exceeded(self, sock_pair):
+        _left, right = sock_pair
+        with pytest.raises(DeadlineExceeded):
+            recv_message(right, deadline_s=time.monotonic() + 0.05)
+
+    def test_clean_eof_is_wire_closed(self, sock_pair):
+        left, right = sock_pair
+        left.close()
+        with pytest.raises(WireClosed):
+            recv_message(right, deadline_s=far())
+
+    def test_mid_frame_eof_is_connection_error(self, sock_pair):
+        left, right = sock_pair
+        left.sendall(b"\x00\x00\x00\xff" + b"xx")  # announce 255, send 2
+        left.close()
+        with pytest.raises(ConnectionError) as excinfo:
+            recv_message(right, deadline_s=far())
+        assert not isinstance(excinfo.value, WireClosed)
+
+    def test_oversized_header_is_rejected_not_allocated(self, sock_pair):
+        left, right = sock_pair
+        left.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(ConnectionError, match="corrupt"):
+            recv_message(right, deadline_s=far())
+
+    def test_wait_readable_polls_without_consuming(self, sock_pair):
+        left, right = sock_pair
+        assert wait_readable(right, 0.01) is False
+        send_message(left, {"op": "ping"}, deadline_s=far())
+        assert wait_readable(right, 1.0) is True
+        # The peek consumed nothing: the full frame still parses.
+        assert recv_message(right, deadline_s=far()) == {"op": "ping"}
+
+
+class TestErrorTransport:
+    def test_taxonomy_errors_cross_by_name(self):
+        error = decode_error(encode_error(DeadlineExceeded("too slow")))
+        assert isinstance(error, DeadlineExceeded)
+        assert str(error) == "too slow"
+
+    def test_documented_builtins_cross_by_name(self):
+        assert isinstance(decode_error(encode_error(ValueError("bad"))),
+                          ValueError)
+        assert isinstance(decode_error(encode_error(KeyError("k"))), KeyError)
+
+    def test_unknown_types_decode_to_base_serving_error(self):
+        class Exotic(RuntimeError):
+            pass
+
+        decoded = decode_error(encode_error(Exotic("zap")))
+        assert type(decoded) is ServingError
+        assert "Exotic" in str(decoded)
+
+    def test_worker_crashed_round_trips(self):
+        decoded = decode_error(encode_error(WorkerCrashed("died")))
+        assert isinstance(decoded, WorkerCrashed)
+
+
+@pytest.fixture()
+def running_replica():
+    service = FakeService("wire-replica")
+    server = ReplicaServer(service, name="wire-replica", poll_interval_s=0.05)
+    server.serve_in_thread()
+    yield server, service
+    server.stop(drain_timeout_s=5.0)
+
+
+class TestReplicaClient:
+    def test_annotate_batch_round_trip(self, running_replica):
+        server, _service = running_replica
+        client = ReplicaClient(("127.0.0.1", server.port))
+        try:
+            value = client.request(
+                "annotate_batch", {"tables": make_tables(2), "budget_s": 5.0}
+            )
+            assert value == [["label:t0"], ["label:t1"]]
+        finally:
+            client.close()
+
+    def test_budget_reaches_the_service(self, running_replica):
+        server, service = running_replica
+        client = ReplicaClient(("127.0.0.1", server.port))
+        try:
+            client.request("annotate_batch",
+                           {"tables": make_tables(1), "budget_s": 2.5})
+        finally:
+            client.close()
+        assert service.calls == [(1, 2.5)]
+
+    def test_connections_are_pooled_and_reused(self, running_replica):
+        server, _service = running_replica
+        client = ReplicaClient(("127.0.0.1", server.port))
+        try:
+            for _ in range(4):
+                client.request("ping")
+            assert len(client._idle) == 1  # same connection, checked back in
+        finally:
+            client.close()
+
+    def test_replica_side_error_raises_typed(self, running_replica):
+        server, _service = running_replica
+        client = ReplicaClient(("127.0.0.1", server.port))
+        try:
+            with pytest.raises(ValueError, match="unknown op"):
+                client.request("no_such_op")
+        finally:
+            client.close()
+
+    def test_unreachable_address_is_replica_unavailable(self):
+        client = ReplicaClient(("127.0.0.1", 1), connect_timeout_s=0.2)
+        try:
+            with pytest.raises(ReplicaUnavailable):
+                client.request("ping")
+        finally:
+            client.close()
+
+    def test_closed_client_refuses_requests(self, running_replica):
+        server, _service = running_replica
+        client = ReplicaClient(("127.0.0.1", server.port))
+        client.close()
+        with pytest.raises(ReplicaUnavailable, match="closed"):
+            client.request("ping")
+
+    def test_concurrent_requests_each_get_a_connection(self, running_replica):
+        server, service = running_replica
+        hold = threading.Event()
+
+        def slow(tables, budget_s):
+            hold.wait(5.0)
+            return [["ok"] for _ in tables]
+
+        service._annotate = slow
+        client = ReplicaClient(("127.0.0.1", server.port))
+        results: list = []
+
+        def call():
+            results.append(client.request(
+                "annotate_batch", {"tables": make_tables(1)}
+            ))
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 5.0
+            while server.requests < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            hold.set()
+            for thread in threads:
+                thread.join(timeout=5.0)
+            assert results == [[["ok"]]] * 3
+        finally:
+            hold.set()
+            client.close()
+
+
+class TestPing:
+    def test_ping_reports_name_and_health(self, running_replica):
+        server, _service = running_replica
+        payload = ping(("127.0.0.1", server.port),
+                       deadline_s=time.monotonic() + 5.0)
+        assert payload["name"] == "wire-replica"
+        assert payload["health"]["status"] == "healthy"
+
+    def test_ping_dead_address_is_replica_unavailable(self):
+        with pytest.raises(ReplicaUnavailable):
+            ping(("127.0.0.1", 1), deadline_s=time.monotonic() + 0.5)
+
+    def test_ping_respects_expired_deadline(self, running_replica):
+        server, _service = running_replica
+        with pytest.raises(DeadlineExceeded):
+            ping(("127.0.0.1", server.port),
+                 deadline_s=time.monotonic() - 1.0)
+
+
+class TestShutdownOp:
+    def test_shutdown_op_stops_the_server(self):
+        service = FakeService()
+        server = ReplicaServer(service, poll_interval_s=0.05)
+        server.serve_in_thread()
+        client = ReplicaClient(("127.0.0.1", server.port))
+        try:
+            assert client.request("shutdown") == {"stopping": True}
+        finally:
+            client.close()
+        server.stop(drain_timeout_s=5.0)
+        with pytest.raises(ReplicaUnavailable):
+            ReplicaClient(("127.0.0.1", server.port),
+                          connect_timeout_s=0.2).request("ping")

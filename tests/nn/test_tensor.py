@@ -134,6 +134,38 @@ class TestNoGrad:
             tensor = Tensor([1.0], requires_grad=True)
         assert not tensor.requires_grad
 
+    def test_no_grad_is_thread_local(self):
+        # A serving thread running inference under no_grad must not turn
+        # gradients off for a concurrently training thread: with a
+        # process-wide flag, overlapping no_grad blocks on two threads can
+        # interleave save/restore and leave gradients disabled for good.
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen: list[bool] = []
+
+        def serve():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=5.0)
+                seen.append(is_grad_enabled())
+
+        worker = threading.Thread(target=serve)
+        worker.start()
+        try:
+            assert entered.wait(timeout=5.0)
+            # The worker sits inside no_grad; this thread still records.
+            assert is_grad_enabled()
+            tensor = Tensor([1.0], requires_grad=True)
+            (tensor * 2).sum().backward()
+            np.testing.assert_allclose(tensor.grad, [2.0])
+        finally:
+            release.set()
+            worker.join(timeout=5.0)
+        assert seen == [False]
+        assert is_grad_enabled()
+
 
 class TestArithmetic:
     def test_add_values(self):
